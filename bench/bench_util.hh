@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table bench binaries: experiment
+ * configuration from the environment, and the per-benchmark matrix
+ * loop with on-disk caching so fig5/6/7 share one set of runs.
+ */
+
+#ifndef MCD_BENCH_BENCH_UTIL_HH
+#define MCD_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/experiment.hh"
+#include "workloads/workloads.hh"
+
+namespace mcd {
+namespace benchutil {
+
+/** Experiment configuration honoring MCD_SCALE / MCD_CACHE_DIR / seed. */
+inline ExperimentConfig
+configFromEnv(DvfsKind model = DvfsKind::XScale)
+{
+    ExperimentConfig ec;
+    ec.model = model;
+    if (const char *s = std::getenv("MCD_SCALE"))
+        ec.scale = std::max(1, std::atoi(s));
+    if (const char *d = std::getenv("MCD_CACHE_DIR"))
+        ec.cacheDir = d;
+    else
+        ec.cacheDir = ".mcd-bench-cache";
+    if (const char *seed = std::getenv("MCD_SEED"))
+        ec.seed = std::strtoull(seed, nullptr, 10);
+    return ec;
+}
+
+/** Run the full five-configuration matrix for all 16 benchmarks. */
+inline std::vector<BenchmarkResults>
+runMatrix(const ExperimentConfig &ec)
+{
+    std::vector<BenchmarkResults> out;
+    ExperimentRunner runner(ec);
+    for (const WorkloadInfo &w : workloads::all()) {
+        std::fprintf(stderr, "  running %s...\n", w.name);
+        out.push_back(runner.runBenchmark(w.name));
+    }
+    return out;
+}
+
+/**
+ * Print one paper-style figure: a metric for the four non-baseline
+ * configurations per benchmark plus the average row.
+ */
+inline void
+printFigure(const char *title,
+            const std::vector<BenchmarkResults> &rows,
+            const std::function<double(const BenchmarkResults &,
+                                       const RunResult &)> &metric)
+{
+    std::printf("%s\n\n", title);
+    TextTable t;
+    t.header({"benchmark", "baseline MCD", "dynamic-1%", "dynamic-5%",
+              "global"});
+    double sum[4] = {};
+    for (const BenchmarkResults &r : rows) {
+        const RunResult *cfgs[4] = {&r.mcdBaseline, &r.dyn1, &r.dyn5,
+                                    &r.global};
+        std::vector<std::string> cells{r.name};
+        for (int i = 0; i < 4; ++i) {
+            double v = metric(r, *cfgs[i]);
+            sum[i] += v;
+            cells.push_back(formatPercent(v));
+        }
+        t.row(std::move(cells));
+    }
+    t.separator();
+    std::vector<std::string> avg{"average"};
+    for (double s : sum)
+        avg.push_back(formatPercent(s / static_cast<double>(rows.size())));
+    t.row(std::move(avg));
+    std::fputs(t.render().c_str(), stdout);
+}
+
+} // namespace benchutil
+} // namespace mcd
+
+#endif // MCD_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,47 @@
+#include "analyzer.hh"
+
+namespace mcd {
+
+AnalyzerConfig
+OfflineAnalyzer::configFor(double target_dilation, DvfsKind model,
+                           double dvfs_time_scale)
+{
+    AnalyzerConfig c;
+    c.clustering.targetDilation = target_dilation;
+    c.clustering.model = model;
+    c.clustering.dvfsTimeScale = dvfs_time_scale;
+    return c;
+}
+
+AnalysisResult
+OfflineAnalyzer::analyze(const std::vector<InstTrace> &trace) const
+{
+    AnalysisResult result;
+
+    std::vector<IntervalGraph> graphs =
+        buildIntervalGraphs(trace, config.graph);
+    result.intervals = graphs.size();
+
+    std::vector<IntervalHistos> histos;
+    histos.reserve(graphs.size());
+    for (IntervalGraph &g : graphs) {
+        result.eventsTotal += g.size();
+        ShakeResult sr = shake(g, config.shaker,
+                               config.clustering.fmax,
+                               config.clustering.fmin);
+        result.slackConsumed += sr.slackConsumed;
+        IntervalHistos ih;
+        ih.start = g.intervalStart;
+        ih.end = g.intervalEnd;
+        ih.hist = sr.histogram;
+        histos.push_back(std::move(ih));
+    }
+
+    ClusterPhase cluster(config.clustering);
+    ClusterResult cr = cluster.run(histos);
+    result.schedule = std::move(cr.schedule);
+    result.plans = std::move(cr.plans);
+    return result;
+}
+
+} // namespace mcd

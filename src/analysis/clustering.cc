@@ -1,0 +1,216 @@
+#include "clustering.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcd {
+
+ClusterPhase::ClusterPhase(const ClusteringConfig &config)
+    : cfg(config),
+      dvfsParams(DvfsParams::forKind(config.model, config.dvfsTimeScale)),
+      table(config.fmin, config.fmax, config.vmin, config.vmax,
+            config.model == DvfsKind::Transmeta ? 32 : 320)
+{
+    // The candidate operating points: 32 for Transmeta, 320 for
+    // XScale (paper Section 3.2).
+    int points = table.numPoints();
+    freqs.reserve(points);
+    for (int i = 0; i < points; ++i)
+        freqs.push_back(table.point(i).frequency);
+}
+
+Volt
+ClusterPhase::voltageFor(Hertz f) const
+{
+    return table.voltageFor(f);
+}
+
+Tick
+ClusterPhase::reconfigCharge() const
+{
+    // The Transmeta model loses the PLL re-lock window at every
+    // frequency change; the XScale model executes through changes.
+    return dvfsParams.pllRelock ? dvfsParams.relockMean : 0;
+}
+
+double
+ClusterPhase::dilationAt(const DomainHistogram &h, Hertz f) const
+{
+    // Events assigned frequency fa > f take work * fmax * (1/f - 1/fa)
+    // longer than the shaker scheduled. Dilations are assumed to
+    // accumulate within a domain (the paper's approximation).
+    double extra = 0.0;
+    for (int b = 0; b < DomainHistogram::bins; ++b) {
+        if (h.work[b] <= 0.0)
+            continue;
+        Hertz fa = histogramBinFreq(b, cfg.fmin, cfg.fmax);
+        if (fa > f)
+            extra += h.work[b] * cfg.fmax * (1.0 / f - 1.0 / fa);
+    }
+    return extra;
+}
+
+double
+ClusterPhase::energyAt(const DomainHistogram &h, Hertz f,
+                       Tick length) const
+{
+    double v = voltageFor(f) / cfg.vmax;
+    return (h.total() +
+            cfg.idlePowerFraction * static_cast<double>(length)) * v * v;
+}
+
+Hertz
+ClusterPhase::minFeasibleFrequency(const DomainHistogram &h,
+                                   Tick length) const
+{
+    // The PLL re-lock window only dilates execution to the extent the
+    // domain actually had work to do: re-locking an idle domain costs
+    // (almost) nothing.
+    double utilization = std::min(
+        1.0, h.total() / static_cast<double>(length));
+    double budget = cfg.targetDilation * static_cast<double>(length) -
+        static_cast<double>(reconfigCharge()) * utilization;
+    if (budget <= 0.0)
+        return cfg.fmax;
+    for (Hertz f : freqs) {
+        if (dilationAt(h, f) <= budget)
+            return f;
+    }
+    return cfg.fmax;
+}
+
+Tick
+ClusterPhase::transitionTime(Hertz from, Hertz to) const
+{
+    if (from == to || dvfsParams.kind == DvfsKind::None)
+        return 0;
+    double span = cfg.vmax - cfg.vmin;
+    double dv = std::fabs(voltageFor(to) - voltageFor(from));
+    int steps = static_cast<int>(
+        std::ceil(dv / span * dvfsParams.stepsFullRange - 1e-9));
+    Tick t = static_cast<Tick>(steps) * dvfsParams.stepTime;
+    if (dvfsParams.pllRelock)
+        t += dvfsParams.relockMean;
+    return t;
+}
+
+Tick
+ClusterPhase::leadTime(Hertz from, Hertz to) const
+{
+    if (to >= from)
+        return transitionTime(from, to);
+    // Down-transition: the frequency itself changes after the re-lock
+    // (Transmeta) or immediately (XScale).
+    return dvfsParams.pllRelock ? dvfsParams.relockMean : 0;
+}
+
+namespace {
+
+/** Working segment during merging. */
+struct Seg
+{
+    Tick start = 0;
+    Tick end = 0;
+    DomainHistogram hist;
+    Hertz freq = 0.0;
+};
+
+DomainHistogram
+mergeHist(const DomainHistogram &a, const DomainHistogram &b)
+{
+    DomainHistogram m;
+    for (int i = 0; i < DomainHistogram::bins; ++i)
+        m.work[i] = a.work[i] + b.work[i];
+    return m;
+}
+
+} // namespace
+
+ClusterResult
+ClusterPhase::run(const std::vector<IntervalHistos> &intervals) const
+{
+    ClusterResult result;
+    if (intervals.empty())
+        return result;
+
+    for (Domain d : scalableDomains) {
+        int di = domainIndex(d);
+
+        // Initial per-interval segments with their minimum feasible
+        // frequencies. The integer domain absorbs the load/store
+        // events (paper's special case: effective-address computation
+        // must stay fast when memory activity is high).
+        std::vector<Seg> segs;
+        segs.reserve(intervals.size());
+        for (const IntervalHistos &iv : intervals) {
+            Seg s;
+            s.start = iv.start;
+            s.end = iv.end;
+            s.hist = (d == Domain::Integer)
+                ? mergeHist(iv.hist[di],
+                            iv.hist[domainIndex(Domain::LoadStore)])
+                : iv.hist[di];
+            s.freq = minFeasibleFrequency(s.hist, s.end - s.start);
+            segs.push_back(std::move(s));
+        }
+
+        // Recursive adjacent merging while energy-profitable.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::size_t i = 0; i + 1 < segs.size(); ++i) {
+                const Seg &a = segs[i];
+                const Seg &b = segs[i + 1];
+                DomainHistogram m = mergeHist(a.hist, b.hist);
+                Tick len = b.end - a.start;
+                Hertz fm = minFeasibleFrequency(m, len);
+                double eMerged = energyAt(m, fm, len);
+                double eSplit =
+                    energyAt(a.hist, a.freq, a.end - a.start) +
+                    energyAt(b.hist, b.freq, b.end - b.start);
+                // Merging also eliminates one reconfiguration; treat
+                // equal-energy merges as profitable (consolidation).
+                if (eMerged <= eSplit * (1.0 + 1e-9)) {
+                    Seg s;
+                    s.start = a.start;
+                    s.end = b.end;
+                    s.hist = std::move(m);
+                    s.freq = fm;
+                    segs[i] = std::move(s);
+                    segs.erase(segs.begin() + i + 1);
+                    changed = true;
+                    --i;
+                }
+            }
+        }
+
+        // Lead times and feasibility: a reconfiguration must start
+        // early enough that the target point is reached at the
+        // segment boundary; swings that cannot fit are avoided.
+        Hertz cur = cfg.fmax;           // profiling run starts at fmax
+        Tick lastChange = 0;
+        std::vector<PlanSegment> &plan = result.plans[di];
+        for (const Seg &s : segs) {
+            if (s.freq != cur) {
+                Tick lead = leadTime(cur, s.freq);
+                Tick begin = s.start > lead ? s.start - lead : 0;
+                if (begin >= lastChange) {
+                    result.schedule.add(begin, d, s.freq);
+                    cur = s.freq;
+                    lastChange = s.start;
+                }
+                // else: infeasible swing; keep running at `cur`.
+            }
+            if (!plan.empty() && plan.back().frequency == cur) {
+                plan.back().end = s.end;
+            } else {
+                plan.push_back({s.start, s.end, cur});
+            }
+        }
+    }
+
+    result.schedule.finalize();
+    return result;
+}
+
+} // namespace mcd

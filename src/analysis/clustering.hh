@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The clustering phase of the offline tool (paper Section 3.2):
+ * choose, per domain and interval, the minimum operating frequency
+ * that keeps estimated dilation within the performance target; merge
+ * adjacent intervals while energy-profitable (accounting for
+ * reconfiguration cost under the Transmeta model); compute transition
+ * lead times; drop infeasible reconfigurations; emit the schedule.
+ */
+
+#ifndef MCD_ANALYSIS_CLUSTERING_HH
+#define MCD_ANALYSIS_CLUSTERING_HH
+
+#include <array>
+#include <vector>
+
+#include "analysis/schedule.hh"
+#include "analysis/shaker.hh"
+#include "clock/dvfs.hh"
+#include "clock/operating_points.hh"
+#include "common/types.hh"
+
+namespace mcd {
+
+/** Clustering configuration. */
+struct ClusteringConfig
+{
+    double targetDilation = 0.05;   //!< d: allowed fractional slowdown
+    DvfsKind model = DvfsKind::XScale;
+    double dvfsTimeScale = 1.0;
+    Hertz fmax = 1e9;
+    Hertz fmin = 250e6;
+    Volt vmax = 1.2;
+    Volt vmin = 0.65;
+
+    /**
+     * Idle power of a domain relative to the event-power density used
+     * for histogram work, per unit time: a segment's energy is
+     * (work + idlePowerFraction * length) * (V/Vmax)^2. Keeps the
+     * merging phase honest about what an idle interval costs when
+     * merged into a high-frequency segment.
+     */
+    double idlePowerFraction = 0.30;
+};
+
+/** Shaken histograms for one interval. */
+struct IntervalHistos
+{
+    Tick start = 0;
+    Tick end = 0;
+    std::array<DomainHistogram, numDomains> hist;
+};
+
+/** One constant-frequency stretch of a domain's plan. */
+struct PlanSegment
+{
+    Tick start = 0;
+    Tick end = 0;
+    Hertz frequency = 0.0;
+};
+
+/** The per-domain frequency plan plus the flattened schedule. */
+struct ClusterResult
+{
+    ReconfigSchedule schedule;
+    std::array<std::vector<PlanSegment>, numDomains> plans;
+};
+
+/**
+ * The clustering engine.
+ */
+class ClusterPhase
+{
+  public:
+    explicit ClusterPhase(const ClusteringConfig &cfg);
+
+    /** Run the full phase over the intervals of one profiling run. */
+    ClusterResult run(const std::vector<IntervalHistos> &intervals) const;
+
+    /** @name Exposed pieces (unit-tested directly)
+     *  @{
+     */
+    /** Extra time needed to run the histogram's work at @p f. */
+    double dilationAt(const DomainHistogram &h, Hertz f) const;
+
+    /** Relative energy of the histogram's work (plus idle power over
+     *  @p length) at @p f. */
+    double energyAt(const DomainHistogram &h, Hertz f,
+                    Tick length = 0) const;
+
+    /**
+     * Slowest candidate frequency whose dilation (plus the model's
+     * per-boundary reconfiguration charge) stays within the target
+     * for an interval of the given length.
+     */
+    Hertz minFeasibleFrequency(const DomainHistogram &h,
+                               Tick length) const;
+
+    /** Estimated wall time of a frequency transition. */
+    Tick transitionTime(Hertz from, Hertz to) const;
+
+    /**
+     * How early a transition must be initiated so the domain runs at
+     * @p to when the segment starts. Downward changes apply as soon
+     * as the PLL re-locks (the voltage trails down in the
+     * background); upward changes must finish the voltage ramp first.
+     */
+    Tick leadTime(Hertz from, Hertz to) const;
+
+    /** Candidate operating frequencies (32 Transmeta / 320 XScale). */
+    const std::vector<Hertz> &candidates() const { return freqs; }
+    /** @} */
+
+  private:
+    Volt voltageFor(Hertz f) const;
+    Tick reconfigCharge() const;
+
+    ClusteringConfig cfg;
+    std::vector<Hertz> freqs;       //!< ascending candidate points
+    DvfsParams dvfsParams;
+    DvfsTable table;
+};
+
+} // namespace mcd
+
+#endif // MCD_ANALYSIS_CLUSTERING_HH

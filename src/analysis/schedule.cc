@@ -1,0 +1,77 @@
+#include "schedule.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace mcd {
+
+void
+ReconfigSchedule::finalize()
+{
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const ReconfigEntry &a, const ReconfigEntry &b) {
+                         return a.when < b.when;
+                     });
+}
+
+std::size_t
+ReconfigSchedule::countFor(Domain d) const
+{
+    std::size_t n = 0;
+    for (const auto &e : entries) {
+        if (e.domain == d)
+            ++n;
+    }
+    return n;
+}
+
+std::string
+ReconfigSchedule::toText() const
+{
+    std::string out;
+    char buf[96];
+    for (const auto &e : entries) {
+        std::snprintf(buf, sizeof(buf), "%llu %s %.0f\n",
+                      static_cast<unsigned long long>(e.when),
+                      domainShortName(e.domain), e.frequency);
+        out += buf;
+    }
+    return out;
+}
+
+ReconfigSchedule
+ReconfigSchedule::fromText(const std::string &text)
+{
+    ReconfigSchedule s;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        unsigned long long when;
+        std::string dom;
+        double freq;
+        if (!(ls >> when >> dom >> freq))
+            fatal("bad schedule line: " + line);
+        Domain d;
+        if (dom == "FE")
+            d = Domain::FrontEnd;
+        else if (dom == "INT")
+            d = Domain::Integer;
+        else if (dom == "FP")
+            d = Domain::FloatingPoint;
+        else if (dom == "LS")
+            d = Domain::LoadStore;
+        else
+            fatal("bad schedule domain: " + dom);
+        s.add(static_cast<Tick>(when), d, freq);
+    }
+    s.finalize();
+    return s;
+}
+
+} // namespace mcd

@@ -1,0 +1,51 @@
+#include "clock_domain.hh"
+
+#include "common/log.hh"
+
+namespace mcd {
+
+ClockDomain::ClockDomain(Domain id, Hertz f, std::uint64_t seed,
+                         double jitter_sigma_ps, bool randomize_phase)
+    : domainId(id), freq(f), jitterSigma(jitter_sigma_ps), rng(seed)
+{
+    if (f <= 0.0)
+        fatal("clock frequency must be positive");
+    Tick phase = 0;
+    if (randomize_phase)
+        phase = static_cast<Tick>(rng.uniform() * period());
+    curEdge = phase;
+    nextEdge = scheduleAfter(curEdge);
+}
+
+Tick
+ClockDomain::scheduleAfter(Tick from)
+{
+    double p = period();
+    double j = jitterSigma > 0.0
+        ? rng.normalClamped(0.0, jitterSigma, 3.0)
+        : 0.0;
+    // Jitter must never push an edge to or before its predecessor.
+    double dt = p + j;
+    if (dt < p * 0.25)
+        dt = p * 0.25;
+    return from + static_cast<Tick>(dt);
+}
+
+Tick
+ClockDomain::advance()
+{
+    curEdge = nextEdge;
+    ++edgeCount;
+    nextEdge = scheduleAfter(curEdge);
+    return curEdge;
+}
+
+void
+ClockDomain::setFrequency(Hertz f)
+{
+    if (f <= 0.0)
+        fatal("clock frequency must be positive");
+    freq = f;
+}
+
+} // namespace mcd

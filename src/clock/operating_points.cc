@@ -1,0 +1,76 @@
+#include "operating_points.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace mcd {
+
+DvfsTable::DvfsTable()
+    : DvfsTable(250e6, 1e9, 0.65, 1.2, 32)
+{}
+
+DvfsTable::DvfsTable(Hertz f_min, Hertz f_max, Volt v_min, Volt v_max,
+                     int points)
+    : fMin(f_min), fMax(f_max), vMin(v_min), vMax(v_max)
+{
+    if (points < 2)
+        fatal("DvfsTable requires at least two points");
+    if (f_min >= f_max || v_min >= v_max)
+        fatal("DvfsTable ranges must be increasing");
+    table.reserve(points);
+    for (int i = 0; i < points; ++i) {
+        double t = static_cast<double>(i) / (points - 1);
+        table.push_back({fMin + t * (fMax - fMin),
+                         vMin + t * (vMax - vMin)});
+    }
+}
+
+Volt
+DvfsTable::voltageFor(Hertz f) const
+{
+    if (f <= fMin)
+        return vMin;
+    if (f >= fMax)
+        return vMax;
+    double t = (f - fMin) / (fMax - fMin);
+    return vMin + t * (vMax - vMin);
+}
+
+Hertz
+DvfsTable::frequencyFor(Volt v) const
+{
+    if (v <= vMin)
+        return fMin;
+    if (v >= vMax)
+        return fMax;
+    double t = (v - vMin) / (vMax - vMin);
+    return fMin + t * (fMax - fMin);
+}
+
+int
+DvfsTable::indexAtLeast(Hertz f) const
+{
+    for (int i = 0; i < numPoints(); ++i) {
+        if (table[i].frequency >= f - 1.0)   // 1 Hz tolerance
+            return i;
+    }
+    return numPoints() - 1;
+}
+
+int
+DvfsTable::indexNearest(Hertz f) const
+{
+    int best = 0;
+    double bestDist = std::fabs(table[0].frequency - f);
+    for (int i = 1; i < numPoints(); ++i) {
+        double d = std::fabs(table[i].frequency - f);
+        if (d < bestDist) {
+            bestDist = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace mcd

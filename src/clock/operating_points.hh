@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The DVFS operating-point table: 32 frequency points spanning a
+ * linear range from 1 GHz down to 250 MHz with a corresponding linear
+ * voltage range from 1.2 V down to 0.65 V (paper Section 3).
+ *
+ * The paper simulated the 1.2-0.65 V range as 2.0-1.0833 V because
+ * Wattch fixes Vdd = 2.0 V; we parameterize voltage directly, which
+ * leaves every relative energy result identical (energy scales with
+ * the *ratio* V/Vmax squared).
+ */
+
+#ifndef MCD_CLOCK_OPERATING_POINTS_HH
+#define MCD_CLOCK_OPERATING_POINTS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mcd {
+
+/** One (frequency, voltage) pair. */
+struct OperatingPoint
+{
+    Hertz frequency = 0.0;
+    Volt voltage = 0.0;
+};
+
+/**
+ * The table of discrete operating points plus the continuous linear
+ * frequency<->voltage map they are sampled from.
+ *
+ * Index 0 is the slowest point; index numPoints()-1 the fastest.
+ */
+class DvfsTable
+{
+  public:
+    /** Construct the paper's default 32-point table. */
+    DvfsTable();
+
+    /** Construct a custom table (used by tests and ablations). */
+    DvfsTable(Hertz f_min, Hertz f_max, Volt v_min, Volt v_max,
+              int points);
+
+    int numPoints() const { return static_cast<int>(table.size()); }
+    const OperatingPoint &point(int idx) const { return table[idx]; }
+    const OperatingPoint &slowest() const { return table.front(); }
+    const OperatingPoint &fastest() const { return table.back(); }
+
+    Hertz minFrequency() const { return fMin; }
+    Hertz maxFrequency() const { return fMax; }
+    Volt minVoltage() const { return vMin; }
+    Volt maxVoltage() const { return vMax; }
+
+    /** Voltage on the linear map for an arbitrary frequency. */
+    Volt voltageFor(Hertz f) const;
+
+    /** Frequency on the linear map for an arbitrary voltage. */
+    Hertz frequencyFor(Volt v) const;
+
+    /**
+     * Index of the slowest table point with frequency >= @p f
+     * (clamped to the fastest point if @p f exceeds the table).
+     */
+    int indexAtLeast(Hertz f) const;
+
+    /** Index of the table point nearest in frequency to @p f. */
+    int indexNearest(Hertz f) const;
+
+  private:
+    Hertz fMin, fMax;
+    Volt vMin, vMax;
+    std::vector<OperatingPoint> table;
+};
+
+} // namespace mcd
+
+#endif // MCD_CLOCK_OPERATING_POINTS_HH

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Inter-domain synchronization: the T_s visibility rule and the
+ * queue/channel primitives used at every clock-domain boundary.
+ *
+ * Following Sjogren & Myers' arbitration circuits as adopted by the
+ * paper (Section 2.2): a value written in the source domain at time
+ * t_w can be latched at a destination clock edge t_e only if
+ * t_e - t_w >= T_s, where T_s is 30% of the period of the highest
+ * frequency (0.3 ns at 1 GHz). If the edge arrives too soon, the value
+ * is seen one destination cycle later. Within a single domain the rule
+ * degenerates to ordinary pipelining: visible at any strictly later
+ * edge. This is how the *baseline* (singly clocked) configuration
+ * naturally loses all synchronization overhead.
+ */
+
+#ifndef MCD_CLOCK_SYNC_HH
+#define MCD_CLOCK_SYNC_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hh"
+
+namespace mcd {
+
+/** Paper value: T_s as a fraction of the fastest clock period. */
+inline constexpr double defaultSyncFraction = 0.3;
+
+/**
+ * The synchronization rule shared by all boundary crossings.
+ */
+class SyncRule
+{
+  public:
+    /** Default: same-domain (no synchronization cost). */
+    SyncRule() : crossDomain(false), syncTime(0) {}
+
+    /**
+     * @param cross_domain false collapses the rule to plain next-edge
+     *        visibility (singly clocked configuration)
+     * @param sync_time_ps T_s in picoseconds
+     */
+    SyncRule(bool cross_domain, double sync_time_ps)
+        : crossDomain(cross_domain),
+          syncTime(static_cast<Tick>(sync_time_ps))
+    {}
+
+    /** Build the paper's default rule for a given max frequency. */
+    static SyncRule
+    forMaxFrequency(bool cross_domain, Hertz f_max,
+                    double fraction = defaultSyncFraction)
+    {
+        return SyncRule(cross_domain, fraction * periodPs(f_max));
+    }
+
+    /** Can a value written at @p wrote be consumed at edge @p edge? */
+    bool
+    visible(Tick wrote, Tick edge) const
+    {
+        if (edge <= wrote)
+            return false;
+        if (!crossDomain)
+            return true;
+        return edge - wrote >= syncTime;
+    }
+
+    /** Earliest time at which a consumer edge may observe the value. */
+    Tick
+    earliestVisible(Tick wrote) const
+    {
+        return crossDomain ? wrote + syncTime : wrote + 1;
+    }
+
+    bool isCrossDomain() const { return crossDomain; }
+    Tick syncTimePs() const { return syncTime; }
+
+  private:
+    bool crossDomain;
+    Tick syncTime;
+};
+
+/**
+ * A FIFO channel crossing (or not) a domain boundary.
+ *
+ * Producer side calls push() with its current edge time; consumer
+ * side, at its own edges, observes only entries the SyncRule makes
+ * visible. Capacity enforcement is left to the users (the hardware
+ * queues use credits; see cpu/).
+ */
+template <typename T>
+class SyncChannel
+{
+  public:
+    explicit SyncChannel(SyncRule rule_) : rule(rule_) {}
+
+    /** Replace the rule (when rebinding domains between configs). */
+    void setRule(SyncRule rule_) { rule = rule_; }
+    const SyncRule &syncRule() const { return rule; }
+
+    void
+    push(T value, Tick wrote)
+    {
+        entries.push_back({std::move(value), wrote});
+    }
+
+    /** Total entries, visible or not. */
+    std::size_t size() const { return entries.size(); }
+    bool empty() const { return entries.empty(); }
+
+    /** Is the head entry consumable at edge time @p edge? */
+    bool
+    frontVisible(Tick edge) const
+    {
+        return !entries.empty() && rule.visible(entries.front().wrote, edge);
+    }
+
+    /** Number of leading entries consumable at @p edge. */
+    std::size_t
+    visibleCount(Tick edge) const
+    {
+        std::size_t n = 0;
+        for (const auto &e : entries) {
+            if (!rule.visible(e.wrote, edge))
+                break;
+            ++n;
+        }
+        return n;
+    }
+
+    const T &front() const { return entries.front().value; }
+    T &front() { return entries.front().value; }
+
+    void pop() { entries.pop_front(); }
+
+    void clear() { entries.clear(); }
+
+  private:
+    struct Entry
+    {
+        T value;
+        Tick wrote;
+    };
+
+    SyncRule rule;
+    std::deque<Entry> entries;
+};
+
+/**
+ * A saturating credit counter whose returns cross a domain boundary.
+ *
+ * Models the paper's conservative full-flag generation: the producer
+ * (front end) only dispatches against credits, and a credit freed in
+ * the consumer domain becomes usable only after synchronization.
+ */
+class CreditReturnChannel
+{
+  public:
+    CreditReturnChannel(SyncRule rule_, int initial_credits)
+        : rule(rule_), available(initial_credits)
+    {}
+
+    void setRule(SyncRule rule_) { rule = rule_; }
+
+    /** Credits usable by the producer at its edge @p edge. */
+    int
+    credits(Tick edge)
+    {
+        drain(edge);
+        return available;
+    }
+
+    /** Producer consumes one credit. */
+    void
+    take()
+    {
+        --available;
+    }
+
+    /** Consumer frees one credit at its edge time @p freed. */
+    void
+    give(Tick freed)
+    {
+        inFlight.push_back(freed);
+    }
+
+  private:
+    void
+    drain(Tick edge)
+    {
+        while (!inFlight.empty() && rule.visible(inFlight.front(), edge)) {
+            inFlight.pop_front();
+            ++available;
+        }
+    }
+
+    SyncRule rule;
+    int available;
+    std::deque<Tick> inFlight;
+};
+
+} // namespace mcd
+
+#endif // MCD_CLOCK_SYNC_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * Every stochastic element of the model (clock jitter, PLL re-lock
+ * time, initial clock phases, workload data) draws from an explicitly
+ * seeded Rng so that simulations are exactly reproducible.
+ */
+
+#ifndef MCD_COMMON_RANDOM_HH
+#define MCD_COMMON_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace mcd {
+
+/**
+ * xorshift64* generator with Box-Muller Gaussian sampling.
+ *
+ * Small, fast, and statistically adequate for jitter modeling; chosen
+ * over std::mt19937 for cross-platform bit-exact reproducibility.
+ */
+class Rng
+{
+  public:
+    /** Construct with a nonzero seed (zero is remapped internally). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state(seed ? seed : 0x9e3779b97f4a7c15ULL)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniformRange(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t
+    uniformInt(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /**
+     * Gaussian sample via Box-Muller.
+     *
+     * @param mean distribution mean
+     * @param sigma standard deviation
+     */
+    double
+    normal(double mean, double sigma)
+    {
+        if (hasSpare) {
+            hasSpare = false;
+            return mean + sigma * spare;
+        }
+        double u1 = uniform();
+        double u2 = uniform();
+        // Guard against log(0).
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        double r = std::sqrt(-2.0 * std::log(u1));
+        double theta = 2.0 * 3.14159265358979323846 * u2;
+        spare = r * std::sin(theta);
+        hasSpare = true;
+        return mean + sigma * r * std::cos(theta);
+    }
+
+    /**
+     * Gaussian sample truncated to [mean - k*sigma, mean + k*sigma].
+     * Used for clock jitter where unbounded tails would let simulated
+     * time run backwards.
+     */
+    double
+    normalClamped(double mean, double sigma, double k)
+    {
+        double v = normal(mean, sigma);
+        double lo = mean - k * sigma;
+        double hi = mean + k * sigma;
+        if (v < lo)
+            return lo;
+        if (v > hi)
+            return hi;
+        return v;
+    }
+
+  private:
+    std::uint64_t state;
+    bool hasSpare = false;
+    double spare = 0.0;
+};
+
+} // namespace mcd
+
+#endif // MCD_COMMON_RANDOM_HH

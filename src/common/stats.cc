@@ -1,0 +1,103 @@
+#include "stats.hh"
+
+#include <cstdio>
+
+namespace mcd {
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+std::string
+formatMHz(double hertz)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.0f MHz", hertz / 1e6);
+    return buf;
+}
+
+std::string
+formatTime(std::uint64_t ticks)
+{
+    char buf[64];
+    double ps = static_cast<double>(ticks);
+    if (ps < 1e3)
+        std::snprintf(buf, sizeof(buf), "%.0f ps", ps);
+    else if (ps < 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2f ns", ps / 1e3);
+    else if (ps < 1e9)
+        std::snprintf(buf, sizeof(buf), "%.2f us", ps / 1e6);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f ms", ps / 1e9);
+    return buf;
+}
+
+std::string
+formatFixed(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    lines.push_back({false, std::move(cells)});
+    separator();
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    lines.push_back({false, std::move(cells)});
+}
+
+void
+TextTable::separator()
+{
+    lines.push_back({true, {}});
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute column widths.
+    std::vector<std::size_t> widths;
+    for (const auto &line : lines) {
+        if (line.isSeparator)
+            continue;
+        if (widths.size() < line.cells.size())
+            widths.resize(line.cells.size(), 0);
+        for (std::size_t i = 0; i < line.cells.size(); ++i)
+            widths[i] = std::max(widths[i], line.cells[i].size());
+    }
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 3;
+
+    std::string out;
+    for (const auto &line : lines) {
+        if (line.isSeparator) {
+            out.append(total, '-');
+            out.push_back('\n');
+            continue;
+        }
+        for (std::size_t i = 0; i < line.cells.size(); ++i) {
+            const std::string &c = line.cells[i];
+            out.append(c);
+            if (i + 1 < line.cells.size()) {
+                out.append(widths[i] - c.size() + 3, ' ');
+            }
+        }
+        out.push_back('\n');
+    }
+    return out;
+}
+
+} // namespace mcd

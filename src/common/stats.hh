@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Small statistics helpers: running averages, min/max tracking, and
+ * table/percentage formatting used by the benches and reports.
+ */
+
+#ifndef MCD_COMMON_STATS_HH
+#define MCD_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mcd {
+
+/** Accumulates a scalar series: count, sum, mean, min, max. */
+class RunningStat
+{
+  public:
+    void
+    add(double v)
+    {
+        n += 1;
+        total += v;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+
+    std::uint64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const { return n ? total / static_cast<double>(n) : 0.0; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+
+    void
+    reset()
+    {
+        n = 0;
+        total = 0.0;
+        lo = std::numeric_limits<double>::infinity();
+        hi = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t n = 0;
+    double total = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+};
+
+/** Format a fraction as a signed percentage string, e.g. "-12.3%". */
+std::string formatPercent(double fraction, int decimals = 1);
+
+/** Format a frequency in MHz, e.g. "920 MHz". */
+std::string formatMHz(double hertz);
+
+/** Format simulated picoseconds as a human-readable duration. */
+std::string formatTime(std::uint64_t ticks);
+
+/** Format a floating value with fixed decimals. */
+std::string formatFixed(double v, int decimals);
+
+/**
+ * Fixed-width text table builder used by the figure benches to print
+ * paper-style rows.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a separator line. */
+    void separator();
+
+    /** Render the table with aligned columns. */
+    std::string render() const;
+
+  private:
+    struct Line
+    {
+        bool isSeparator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<Line> lines;
+};
+
+} // namespace mcd
+
+#endif // MCD_COMMON_STATS_HH

@@ -1,0 +1,29 @@
+#include "types.hh"
+
+namespace mcd {
+
+const char *
+domainName(Domain d)
+{
+    switch (d) {
+      case Domain::FrontEnd: return "front-end";
+      case Domain::Integer: return "integer";
+      case Domain::FloatingPoint: return "floating-point";
+      case Domain::LoadStore: return "load-store";
+    }
+    return "?";
+}
+
+const char *
+domainShortName(Domain d)
+{
+    switch (d) {
+      case Domain::FrontEnd: return "FE";
+      case Domain::Integer: return "INT";
+      case Domain::FloatingPoint: return "FP";
+      case Domain::LoadStore: return "LS";
+    }
+    return "?";
+}
+
+} // namespace mcd

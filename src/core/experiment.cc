@@ -1,0 +1,241 @@
+#include "experiment.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+#include "workloads/workloads.hh"
+
+namespace mcd {
+
+namespace {
+
+constexpr const char *cacheVersion = "mcd-cache-v1";
+
+void
+writeRun(std::ostream &os, const char *tag, const RunResult &r)
+{
+    os << std::setprecision(17);
+    os << tag << ' ' << r.execTime << ' ' << r.committed << ' '
+       << r.ipc << ' ' << r.totalEnergy << ' ' << r.energyDelay;
+    for (int d = 0; d < numDomains; ++d) {
+        const DomainSummary &s = r.domains[d];
+        os << ' ' << s.cycles << ' ' << s.energy << ' '
+           << s.avgFrequency << ' ' << s.minFrequency << ' '
+           << s.maxFrequency << ' ' << s.reconfigurations;
+    }
+    os << '\n';
+}
+
+bool
+readRun(std::istream &is, const char *tag, RunResult &r)
+{
+    std::string t;
+    if (!(is >> t) || t != tag)
+        return false;
+    if (!(is >> r.execTime >> r.committed >> r.ipc >> r.totalEnergy >>
+          r.energyDelay)) {
+        return false;
+    }
+    for (int d = 0; d < numDomains; ++d) {
+        DomainSummary &s = r.domains[d];
+        if (!(is >> s.cycles >> s.energy >> s.avgFrequency >>
+              s.minFrequency >> s.maxFrequency >> s.reconfigurations)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig cfg)
+    : config(std::move(cfg))
+{}
+
+SimConfig
+ExperimentRunner::makeSimConfig(ClockingStyle style) const
+{
+    SimConfig sc;
+    sc.clocking = style;
+    sc.seed = config.seed;
+    return sc;
+}
+
+RunResult
+ExperimentRunner::runOnce(const Program &prog, const SimConfig &sc) const
+{
+    McdProcessor proc(sc, prog);
+    return proc.run();
+}
+
+std::string
+ExperimentRunner::cacheKey(const std::string &name) const
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "%s-s%d-%s-ts%.4f-d%.3f-%.3f-seed%llu",
+                  name.c_str(), config.scale, dvfsKindName(config.model),
+                  config.dvfsTimeScale, config.dilationLow,
+                  config.dilationHigh,
+                  static_cast<unsigned long long>(config.seed));
+    return buf;
+}
+
+std::optional<BenchmarkResults>
+ExperimentRunner::loadCache(const std::string &name)
+{
+    if (config.cacheDir.empty())
+        return std::nullopt;
+    std::ifstream in(config.cacheDir + "/" + cacheKey(name) + ".txt");
+    if (!in)
+        return std::nullopt;
+    std::string ver;
+    if (!(in >> ver) || ver != cacheVersion)
+        return std::nullopt;
+    BenchmarkResults r;
+    r.name = name;
+    if (!(in >> r.globalFrequency >> r.schedule1Size >> r.schedule5Size))
+        return std::nullopt;
+    if (!readRun(in, "baseline", r.baseline) ||
+        !readRun(in, "mcd", r.mcdBaseline) ||
+        !readRun(in, "dyn1", r.dyn1) ||
+        !readRun(in, "dyn5", r.dyn5) ||
+        !readRun(in, "global", r.global)) {
+        return std::nullopt;
+    }
+    return r;
+}
+
+void
+ExperimentRunner::storeCache(const BenchmarkResults &r)
+{
+    if (config.cacheDir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(config.cacheDir, ec);
+    std::ofstream out(config.cacheDir + "/" + cacheKey(r.name) + ".txt");
+    if (!out)
+        return;
+    out << std::setprecision(17);
+    out << cacheVersion << '\n'
+        << r.globalFrequency << ' ' << r.schedule1Size << ' '
+        << r.schedule5Size << '\n';
+    writeRun(out, "baseline", r.baseline);
+    writeRun(out, "mcd", r.mcdBaseline);
+    writeRun(out, "dyn1", r.dyn1);
+    writeRun(out, "dyn5", r.dyn5);
+    writeRun(out, "global", r.global);
+}
+
+ExperimentRunner::DynamicRun
+ExperimentRunner::runDynamic(const std::string &name,
+                             double target_dilation)
+{
+    Program prog = workloads::build(name, config.scale);
+
+    // Profiling run: baseline MCD at full speed, trace collection on.
+    SimConfig profCfg = makeSimConfig(ClockingStyle::Mcd);
+    profCfg.collectTrace = true;
+    McdProcessor prof(profCfg, prog);
+    prof.run();
+
+    OfflineAnalyzer analyzer(OfflineAnalyzer::configFor(
+        target_dilation, config.model, config.dvfsTimeScale));
+    AnalysisResult analysis = analyzer.analyze(prof.trace().trace());
+
+    SimConfig dynCfg = makeSimConfig(ClockingStyle::Mcd);
+    dynCfg.dvfs = config.model;
+    dynCfg.dvfsTimeScale = config.dvfsTimeScale;
+    dynCfg.schedule = &analysis.schedule;
+    dynCfg.recordFreqTrace = config.recordFreqTrace;
+
+    DynamicRun out;
+    out.result = runOnce(prog, dynCfg);
+    out.analysis = std::move(analysis);
+    return out;
+}
+
+BenchmarkResults
+ExperimentRunner::runBenchmark(const std::string &name)
+{
+    if (auto cached = loadCache(name))
+        return *cached;
+
+    BenchmarkResults r;
+    r.name = name;
+
+    Program prog = workloads::build(name, config.scale);
+
+    // 1. Singly clocked baseline.
+    r.baseline = runOnce(prog, makeSimConfig(ClockingStyle::SingleClock));
+
+    // 2. Baseline MCD (all domains statically at 1 GHz); this is also
+    //    the profiling run for the offline tool.
+    SimConfig profCfg = makeSimConfig(ClockingStyle::Mcd);
+    profCfg.collectTrace = true;
+    McdProcessor prof(profCfg, prog);
+    r.mcdBaseline = prof.run();
+    const std::vector<InstTrace> &trace = prof.trace().trace();
+
+    // 3. Dynamic configurations.
+    for (int which = 0; which < 2; ++which) {
+        double d = which ? config.dilationHigh : config.dilationLow;
+        OfflineAnalyzer analyzer(OfflineAnalyzer::configFor(
+            d, config.model, config.dvfsTimeScale));
+        AnalysisResult analysis = analyzer.analyze(trace);
+        SimConfig dynCfg = makeSimConfig(ClockingStyle::Mcd);
+        dynCfg.dvfs = config.model;
+        dynCfg.dvfsTimeScale = config.dvfsTimeScale;
+        dynCfg.schedule = &analysis.schedule;
+        RunResult res = runOnce(prog, dynCfg);
+        if (which) {
+            r.dyn5 = res;
+            r.schedule5Size = analysis.schedule.size();
+        } else {
+            r.dyn1 = res;
+            r.schedule1Size = analysis.schedule.size();
+        }
+    }
+
+    // 4. Global voltage scaling: single clock at the table frequency
+    //    whose degradation best matches dynamic-5% (paper Section 4).
+    double target = r.perfDegradation(r.dyn5);
+    DvfsTable table;
+    int lo = 0;
+    int hi = table.numPoints() - 1;
+    // Degradation decreases monotonically with frequency: find the
+    // slowest point whose degradation does not exceed the target.
+    RunResult bestRun;
+    Hertz bestFreq = table.fastest().frequency;
+    double bestDist = 1e300;
+    while (lo <= hi) {
+        int mid = (lo + hi) / 2;
+        Hertz f = table.point(mid).frequency;
+        SimConfig sc = makeSimConfig(ClockingStyle::SingleClock);
+        sc.domainFrequency = {f, f, f, f};
+        sc.mem.dramScalesWithClock = true;
+        RunResult res = runOnce(prog, sc);
+        double deg = r.perfDegradation(res);
+        double dist = std::fabs(deg - target);
+        if (dist < bestDist) {
+            bestDist = dist;
+            bestRun = res;
+            bestFreq = f;
+        }
+        if (deg > target)
+            lo = mid + 1;   // too slow; raise frequency
+        else
+            hi = mid - 1;   // within target; try slower
+    }
+    r.global = bestRun;
+    r.globalFrequency = bestFreq;
+
+    storeCache(r);
+    return r;
+}
+
+} // namespace mcd

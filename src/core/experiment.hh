@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The experiment runner for the paper's evaluation (Section 4).
+ *
+ * For one benchmark it produces the five configurations compared in
+ * Figures 5-7:
+ *
+ *  - baseline: singly clocked 1 GHz, no scaling;
+ *  - baseline MCD: four domains, all statically at 1 GHz (quantifies
+ *    the synchronization cost; doubles as the profiling run);
+ *  - dynamic-1% / dynamic-5%: per-domain DVFS driven by the offline
+ *    tool's schedule with a 1% / 5% dilation target;
+ *  - global: the baseline with a single reduced frequency/voltage
+ *    chosen so its performance degradation matches dynamic-5%.
+ *
+ * Results are cached on disk so the per-figure bench binaries can
+ * share one expensive run matrix.
+ */
+
+#ifndef MCD_CORE_EXPERIMENT_HH
+#define MCD_CORE_EXPERIMENT_HH
+
+#include <optional>
+#include <string>
+
+#include "analysis/analyzer.hh"
+#include "core/processor.hh"
+#include "core/sim_config.hh"
+
+namespace mcd {
+
+/** Parameters of one experiment matrix. */
+struct ExperimentConfig
+{
+    int scale = 1;                  //!< workload scale factor
+    DvfsKind model = DvfsKind::XScale;
+    /** Shrinks DVFS transition times to match shortened windows
+     *  while preserving the re-lock-to-interval cost ratio
+     *  (DESIGN.md section 4, substitution 2). */
+    double dvfsTimeScale = 0.2;
+    double dilationLow = 0.01;      //!< dynamic-1% target
+    double dilationHigh = 0.05;     //!< dynamic-5% target
+    std::uint64_t seed = 1;
+    bool recordFreqTrace = false;   //!< per-domain traces (Figure 8)
+    std::string cacheDir;           //!< empty = caching disabled
+};
+
+/** The five runs (plus metadata) for one benchmark. */
+struct BenchmarkResults
+{
+    std::string name;
+    RunResult baseline;
+    RunResult mcdBaseline;
+    RunResult dyn1;
+    RunResult dyn5;
+    RunResult global;
+    Hertz globalFrequency = 0.0;
+
+    std::size_t schedule1Size = 0;  //!< dyn-1% schedule entries
+    std::size_t schedule5Size = 0;
+
+    /** Fractional slowdown of @p r relative to the baseline. */
+    double
+    perfDegradation(const RunResult &r) const
+    {
+        return static_cast<double>(r.execTime) /
+            static_cast<double>(baseline.execTime) - 1.0;
+    }
+
+    /** Fractional energy saved relative to the baseline. */
+    double
+    energySavings(const RunResult &r) const
+    {
+        return 1.0 - r.totalEnergy / baseline.totalEnergy;
+    }
+
+    /** Fractional energy-delay-product improvement. */
+    double
+    edpImprovement(const RunResult &r) const
+    {
+        return 1.0 - r.energyDelay / baseline.energyDelay;
+    }
+};
+
+/**
+ * Runs experiment matrices, with optional on-disk caching.
+ */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(ExperimentConfig cfg);
+
+    /** Run (or load from cache) the full matrix for one benchmark. */
+    BenchmarkResults runBenchmark(const std::string &name);
+
+    /**
+     * Run only the pieces needed for a dynamic configuration:
+     * profile, analyze, dynamic run. Used by Figure 8/9 benches and
+     * the examples.
+     */
+    struct DynamicRun
+    {
+        RunResult result;
+        AnalysisResult analysis;
+    };
+    DynamicRun runDynamic(const std::string &name,
+                          double target_dilation);
+
+    const ExperimentConfig &cfg() const { return config; }
+
+  private:
+    SimConfig makeSimConfig(ClockingStyle style) const;
+    RunResult runOnce(const Program &prog, const SimConfig &sc) const;
+    std::string cacheKey(const std::string &name) const;
+    std::optional<BenchmarkResults> loadCache(const std::string &name);
+    void storeCache(const BenchmarkResults &r);
+
+    ExperimentConfig config;
+};
+
+} // namespace mcd
+
+#endif // MCD_CORE_EXPERIMENT_HH

@@ -1,0 +1,196 @@
+#include "processor.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mcd {
+
+McdProcessor::McdProcessor(const SimConfig &config, const Program &program)
+    : cfg(config), prog(program), oracle(prog)
+{
+    bool mcd = cfg.clocking == ClockingStyle::Mcd;
+
+    if (mcd) {
+        for (int d = 0; d < numDomains; ++d) {
+            ownedClocks.push_back(std::make_unique<ClockDomain>(
+                static_cast<Domain>(d), cfg.domainFrequency[d],
+                cfg.seed * 7919 + d * 104729 + 13,
+                cfg.jitterSigmaPs, true));
+            clocks[d] = ownedClocks.back().get();
+        }
+    } else {
+        ownedClocks.push_back(std::make_unique<ClockDomain>(
+            Domain::FrontEnd, cfg.domainFrequency[0],
+            cfg.seed * 7919 + 13, cfg.jitterSigmaPs, true));
+        for (int d = 0; d < numDomains; ++d)
+            clocks[d] = ownedClocks.front().get();
+    }
+
+    // Initial voltages follow the frequency/voltage map.
+    for (int d = 0; d < numDomains; ++d)
+        clocks[d]->setVoltage(opTable.voltageFor(clocks[d]->frequency()));
+
+    SyncRule icMissRule = SyncRule::forMaxFrequency(
+        mcd, opTable.maxFrequency(), cfg.syncFraction);
+    memory = std::make_unique<MemoryHierarchy>(
+        cfg.mem, *clocks[domainIndex(Domain::FrontEnd)],
+        *clocks[domainIndex(Domain::LoadStore)], icMissRule);
+
+    power = std::make_unique<PowerModel>(
+        cfg.energy,
+        std::array<const ClockDomain *, numDomains>{
+            clocks[0], clocks[1], clocks[2], clocks[3]});
+
+    collector.enable(cfg.collectTrace);
+
+    pipe = std::make_unique<Pipeline>(
+        cfg.core, oracle, *memory, clocks, cfg.syncFraction,
+        power.get(), &collector);
+
+    if (mcd) {
+        DvfsParams dp = DvfsParams::forKind(cfg.dvfs, cfg.dvfsTimeScale);
+        for (int d = 0; d < numDomains; ++d) {
+            dvfs[d] = std::make_unique<DomainDvfs>(
+                dp, opTable, *clocks[d],
+                cfg.seed * 31337 + d * 271 + 7);
+            if (cfg.recordFreqTrace)
+                dvfs[d]->enableTrace();
+        }
+    }
+
+    // Split the schedule per domain for cheap cursor-based application.
+    schedPerDomain.resize(numDomains);
+    if (cfg.schedule) {
+        for (const ReconfigEntry &e : cfg.schedule->all())
+            schedPerDomain[domainIndex(e.domain)].push_back(e);
+    }
+}
+
+void
+McdProcessor::applySchedule(Domain d, Tick now)
+{
+    int di = domainIndex(d);
+    auto &list = schedPerDomain[di];
+    std::size_t &cur = schedCursor[di];
+    while (cur < list.size() && list[cur].when <= now) {
+        if (dvfs[di])
+            dvfs[di]->requestFrequency(now, list[cur].frequency);
+        ++cur;
+    }
+}
+
+RunResult
+McdProcessor::run()
+{
+    bool mcd = cfg.clocking == ClockingStyle::Mcd;
+
+    std::array<double, numDomains> freqTimeSum{};
+    std::array<Tick, numDomains> prevEdge{};
+    std::array<Tick, numDomains> firstEdge{};
+    std::array<Hertz, numDomains> minFreq;
+    std::array<Hertz, numDomains> maxFreq;
+    for (int d = 0; d < numDomains; ++d) {
+        prevEdge[d] = clocks[d]->now();
+        firstEdge[d] = clocks[d]->now();
+        minFreq[d] = maxFreq[d] = clocks[d]->frequency();
+    }
+
+    std::uint64_t lastProgress = 0;
+    std::uint64_t edgesSinceProgress = 0;
+
+    auto stop = [&]() {
+        if (pipe->done())
+            return true;
+        return cfg.maxInstructions &&
+            pipe->committed() >= cfg.maxInstructions;
+    };
+
+    auto tickOne = [&](Domain d, Tick t) {
+        int di = domainIndex(d);
+        bool blocked = false;
+        if (mcd && dvfs[di]) {
+            dvfs[di]->update(t);
+            applySchedule(d, t);
+            blocked = dvfs[di]->executionBlocked(t);
+        }
+        if (!blocked)
+            pipe->tickDomain(d, t);
+        power->domainCycle(d, blocked);
+
+        Hertz f = clocks[di]->frequency();
+        freqTimeSum[di] += f * static_cast<double>(t - prevEdge[di]);
+        prevEdge[di] = t;
+        minFreq[di] = std::min(minFreq[di], f);
+        maxFreq[di] = std::max(maxFreq[di], f);
+    };
+
+    while (!stop()) {
+        if (mcd) {
+            // Advance the clock with the earliest pending edge.
+            ClockDomain *next = ownedClocks[0].get();
+            for (auto &c : ownedClocks) {
+                if (c->peekNextEdge() < next->peekNextEdge())
+                    next = c.get();
+            }
+            Tick t = next->advance();
+            tickOne(next->id(), t);
+        } else {
+            Tick t = ownedClocks[0]->advance();
+            // One global clock: all four logical domains tick in
+            // pipeline order at every edge.
+            for (int d = 0; d < numDomains; ++d)
+                tickOne(static_cast<Domain>(d), t);
+        }
+
+        // Watchdog against model deadlocks.
+        if (pipe->committed() == lastProgress) {
+            if (++edgesSinceProgress > 40'000'000)
+                panic("McdProcessor: no commit progress (deadlock?)");
+        } else {
+            lastProgress = pipe->committed();
+            edgesSinceProgress = 0;
+        }
+    }
+
+    // Assemble the result.
+    RunResult r;
+    r.benchmark = prog.name();
+    r.committed = pipe->committed();
+    r.execTime = pipe->lastCommitTime();
+    std::uint64_t feCycles =
+        clocks[domainIndex(Domain::FrontEnd)]->cycles();
+    r.ipc = feCycles
+        ? static_cast<double>(r.committed) / static_cast<double>(feCycles)
+        : 0.0;
+    r.totalEnergy = power->totalEnergy();
+    r.energyDelay = r.totalEnergy * toSeconds(r.execTime);
+    r.pipeline = pipe->stats();
+    r.l1i = memory->l1i().stats();
+    r.l1d = memory->l1d().stats();
+    r.l2 = memory->l2().stats();
+    r.bpredLookups = pipe->bpred().stats().lookups;
+    r.bpredMispredictRate = pipe->bpred().stats().mispredictRate();
+
+    for (int d = 0; d < numDomains; ++d) {
+        DomainSummary &s = r.domains[d];
+        s.cycles = clocks[d]->cycles();
+        if (!mcd)
+            s.cycles = ownedClocks[0]->cycles();
+        s.energy = power->domainEnergy(static_cast<Domain>(d));
+        Tick span = prevEdge[d] - firstEdge[d];
+        s.avgFrequency = span
+            ? freqTimeSum[d] / static_cast<double>(span)
+            : clocks[d]->frequency();
+        s.minFrequency = minFreq[d];
+        s.maxFrequency = maxFreq[d];
+        if (mcd && dvfs[d]) {
+            s.reconfigurations = dvfs[d]->reconfigurations();
+            if (cfg.recordFreqTrace)
+                r.freqTraces[d] = dvfs[d]->trace();
+        }
+    }
+    return r;
+}
+
+} // namespace mcd

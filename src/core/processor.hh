@@ -1,0 +1,77 @@
+/**
+ * @file
+ * McdProcessor: the top-level façade binding the clock domains, DVFS
+ * engines, memory hierarchy, out-of-order pipeline, power model, and
+ * trace collector into one runnable simulated processor.
+ */
+
+#ifndef MCD_CORE_PROCESSOR_HH
+#define MCD_CORE_PROCESSOR_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "analysis/schedule.hh"
+#include "clock/clock_domain.hh"
+#include "clock/dvfs.hh"
+#include "clock/operating_points.hh"
+#include "core/sim_config.hh"
+#include "cpu/pipeline.hh"
+#include "isa/executor.hh"
+#include "isa/program.hh"
+#include "mem/hierarchy.hh"
+#include "power/power_model.hh"
+#include "trace/trace.hh"
+
+namespace mcd {
+
+/**
+ * One simulated processor instance. Construct, call run(), inspect
+ * the result (and the collected trace for profiling runs).
+ */
+class McdProcessor
+{
+  public:
+    McdProcessor(const SimConfig &config, const Program &program);
+
+    /** Run to HALT (or the configured instruction cap). */
+    RunResult run();
+
+    /** The primitive-event trace (after a run with collectTrace). */
+    const TraceCollector &trace() const { return collector; }
+
+    /** The DVFS operating-point table in use. */
+    const DvfsTable &dvfsTable() const { return opTable; }
+
+    /** Test hooks. */
+    const Pipeline &pipeline() const { return *pipe; }
+    const ClockDomain &clock(Domain d) const
+    { return *clocks[domainIndex(d)]; }
+
+  private:
+    void applySchedule(Domain d, Tick now);
+
+    SimConfig cfg;
+    Program prog;       //!< owned copy: callers may pass temporaries
+    DvfsTable opTable;
+
+    // Owns one clock per domain in MCD mode, or a single shared clock.
+    std::vector<std::unique_ptr<ClockDomain>> ownedClocks;
+    std::array<ClockDomain *, numDomains> clocks{};
+
+    Executor oracle;
+    std::unique_ptr<MemoryHierarchy> memory;
+    std::unique_ptr<PowerModel> power;
+    TraceCollector collector;
+    std::unique_ptr<Pipeline> pipe;
+    std::array<std::unique_ptr<DomainDvfs>, numDomains> dvfs;
+
+    // Schedule cursor per domain.
+    std::array<std::size_t, numDomains> schedCursor{};
+    std::vector<std::vector<ReconfigEntry>> schedPerDomain;
+};
+
+} // namespace mcd
+
+#endif // MCD_CORE_PROCESSOR_HH

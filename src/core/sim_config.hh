@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Top-level simulation configuration and run results.
+ */
+
+#ifndef MCD_CORE_SIM_CONFIG_HH
+#define MCD_CORE_SIM_CONFIG_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "clock/dvfs.hh"
+#include "common/types.hh"
+#include "cpu/params.hh"
+#include "cpu/pipeline.hh"
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+#include "power/energy_params.hh"
+
+namespace mcd {
+
+class ReconfigSchedule;
+
+/** Globally synchronous vs. multiple clock domains. */
+enum class ClockingStyle : std::uint8_t {
+    SingleClock,    //!< baseline: one clock, no sync penalties
+    Mcd,            //!< four independent domain clocks
+};
+
+/** Everything needed to instantiate one simulated processor run. */
+struct SimConfig
+{
+    CoreParams core;
+    MemParams mem;
+    EnergyParams energy;
+
+    ClockingStyle clocking = ClockingStyle::Mcd;
+    double jitterSigmaPs = defaultJitterSigmaPs;
+    double syncFraction = defaultSyncFraction;
+
+    /** Initial per-domain frequencies (index by Domain). */
+    std::array<Hertz, numDomains> domainFrequency{1e9, 1e9, 1e9, 1e9};
+
+    /** DVFS transition technology for dynamic runs. */
+    DvfsKind dvfs = DvfsKind::None;
+    double dvfsTimeScale = 1.0;
+
+    /** Reconfiguration schedule for dynamic runs (not owned). */
+    const ReconfigSchedule *schedule = nullptr;
+
+    /** Record per-domain frequency traces (Figure 8). */
+    bool recordFreqTrace = false;
+
+    /** Collect the primitive-event trace (profiling runs). */
+    bool collectTrace = false;
+
+    /** Stop after this many committed instructions (0 = run to HALT). */
+    std::uint64_t maxInstructions = 0;
+
+    std::uint64_t seed = 1;
+};
+
+/** Per-domain summary of a run. */
+struct DomainSummary
+{
+    std::uint64_t cycles = 0;
+    double energy = 0.0;
+    Hertz avgFrequency = 0.0;   //!< time-weighted
+    Hertz minFrequency = 0.0;
+    Hertz maxFrequency = 0.0;
+    std::uint64_t reconfigurations = 0;
+};
+
+/** The result of one simulated run. */
+struct RunResult
+{
+    std::string benchmark;
+    Tick execTime = 0;              //!< time of the last commit
+    std::uint64_t committed = 0;
+    double ipc = 0.0;               //!< committed / front-end cycles
+    double totalEnergy = 0.0;
+    double energyDelay = 0.0;       //!< totalEnergy * seconds
+
+    std::array<DomainSummary, numDomains> domains;
+    PipelineStats pipeline;
+    CacheStats l1i, l1d, l2;
+    std::uint64_t bpredLookups = 0;
+    double bpredMispredictRate = 0.0;
+
+    /** Per-domain frequency traces when recordFreqTrace was set. */
+    std::array<std::vector<FreqTracePoint>, numDomains> freqTraces;
+};
+
+} // namespace mcd
+
+#endif // MCD_CORE_SIM_CONFIG_HH

@@ -1,0 +1,139 @@
+#include "bpred.hh"
+
+namespace mcd {
+
+BranchPredictor::BranchPredictor(const BpredParams &params)
+    : cfg(params),
+      bimodal(params.bimodalSize, 2),
+      history(params.l1Size, 0),
+      pagTable(params.l2Size, 2),
+      chooser(params.chooserSize, 2),
+      btb(static_cast<std::size_t>(params.btbSets) * params.btbAssoc),
+      historyMask(static_cast<std::uint16_t>((1u << params.historyBits) - 1))
+{}
+
+std::uint64_t
+BranchPredictor::pcIndex(std::uint64_t pc, std::uint64_t size) const
+{
+    return (pc >> 2) & (size - 1);
+}
+
+BpredLookup
+BranchPredictor::predictBranch(std::uint64_t pc)
+{
+    ++stat.lookups;
+    BpredLookup r;
+
+    std::uint8_t bi = bimodal[pcIndex(pc, bimodal.size())];
+    std::uint16_t h = history[pcIndex(pc, history.size())];
+    std::uint8_t pa = pagTable[h & (pagTable.size() - 1)];
+    std::uint8_t ch = chooser[pcIndex(pc, chooser.size())];
+
+    bool biTaken = counterTaken(bi);
+    bool paTaken = counterTaken(pa);
+    r.taken = counterTaken(ch) ? paTaken : biTaken;
+
+    if (r.taken) {
+        BtbEntry *e = btbFind(pc);
+        if (e) {
+            r.btbHit = true;
+            r.target = e->target;
+        } else {
+            ++stat.btbMisses;
+        }
+    }
+    return r;
+}
+
+BpredLookup
+BranchPredictor::predictIndirect(std::uint64_t pc)
+{
+    ++stat.lookups;
+    BpredLookup r;
+    r.taken = true;
+    BtbEntry *e = btbFind(pc);
+    if (e) {
+        r.btbHit = true;
+        r.target = e->target;
+    } else {
+        ++stat.btbMisses;
+    }
+    return r;
+}
+
+void
+BranchPredictor::update(std::uint64_t pc, bool taken, std::uint64_t target,
+                        bool predicted_taken, bool conditional)
+{
+    if (conditional) {
+        ++stat.condBranches;
+        if (taken != predicted_taken)
+            ++stat.condMispredicts;
+
+        std::uint64_t biIdx = pcIndex(pc, bimodal.size());
+        std::uint64_t hIdx = pcIndex(pc, history.size());
+        std::uint16_t h = history[hIdx];
+        std::uint64_t paIdx = h & (pagTable.size() - 1);
+
+        bool biTaken = counterTaken(bimodal[biIdx]);
+        bool paTaken = counterTaken(pagTable[paIdx]);
+
+        // Chooser trains toward the component that was right.
+        if (biTaken != paTaken) {
+            std::uint64_t chIdx = pcIndex(pc, chooser.size());
+            chooser[chIdx] = bump(chooser[chIdx], paTaken == taken);
+        }
+
+        bimodal[biIdx] = bump(bimodal[biIdx], taken);
+        pagTable[paIdx] = bump(pagTable[paIdx], taken);
+        history[hIdx] = static_cast<std::uint16_t>(
+            ((h << 1) | (taken ? 1 : 0)) & historyMask);
+    }
+
+    if (taken)
+        btbInstall(pc, target);
+}
+
+BranchPredictor::BtbEntry *
+BranchPredictor::btbFind(std::uint64_t pc)
+{
+    std::uint64_t set = pcIndex(pc, cfg.btbSets);
+    std::uint64_t tag = pc >> 2;
+    BtbEntry *base = &btb[set * cfg.btbAssoc];
+    for (int w = 0; w < cfg.btbAssoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lru = ++btbClock;
+            return &base[w];
+        }
+    }
+    return nullptr;
+}
+
+void
+BranchPredictor::btbInstall(std::uint64_t pc, std::uint64_t target)
+{
+    std::uint64_t set = pcIndex(pc, cfg.btbSets);
+    std::uint64_t tag = pc >> 2;
+    BtbEntry *base = &btb[set * cfg.btbAssoc];
+    BtbEntry *victim = base;
+    for (int w = 0; w < cfg.btbAssoc; ++w) {
+        BtbEntry &e = base[w];
+        if (e.valid && e.tag == tag) {
+            e.target = target;
+            e.lru = ++btbClock;
+            return;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lru < victim->lru)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->target = target;
+    victim->lru = ++btbClock;
+}
+
+} // namespace mcd

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Branch prediction: a combining predictor (bimodal + 2-level PAg)
+ * with a set-associative BTB, per paper Table 1.
+ */
+
+#ifndef MCD_CPU_BPRED_HH
+#define MCD_CPU_BPRED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/params.hh"
+
+namespace mcd {
+
+/** Outcome of a branch predictor lookup. */
+struct BpredLookup
+{
+    bool taken = false;         //!< predicted direction
+    bool btbHit = false;        //!< target available
+    std::uint64_t target = 0;   //!< predicted target (valid if btbHit)
+};
+
+/** Branch predictor statistics. */
+struct BpredStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t condMispredicts = 0;
+    std::uint64_t btbMisses = 0;
+
+    double
+    mispredictRate() const
+    {
+        return condBranches
+            ? static_cast<double>(condMispredicts) / condBranches
+            : 0.0;
+    }
+};
+
+/**
+ * Combining predictor: a 4096-entry chooser selects between a
+ * 1024-entry bimodal table and a PAg predictor (1024-entry level-1
+ * history table of 10-bit histories indexing a 1024-entry level-2
+ * counter table). All counters are 2-bit saturating.
+ */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BpredParams &params);
+
+    /** Predict a conditional branch at @p pc. */
+    BpredLookup predictBranch(std::uint64_t pc);
+
+    /** Predict an indirect jump (JALR) target via the BTB. */
+    BpredLookup predictIndirect(std::uint64_t pc);
+
+    /**
+     * Train with the resolved outcome.
+     *
+     * @param pc branch address
+     * @param taken actual direction
+     * @param target actual target (installed in the BTB when taken)
+     * @param predicted_taken what predictBranch returned
+     * @param conditional false for JALR-style indirect jumps
+     */
+    void update(std::uint64_t pc, bool taken, std::uint64_t target,
+                bool predicted_taken, bool conditional);
+
+    const BpredStats &stats() const { return stat; }
+    void resetStats() { stat = BpredStats(); }
+
+  private:
+    struct BtbEntry
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t target = 0;
+        std::uint64_t lru = 0;
+    };
+
+    static bool counterTaken(std::uint8_t c) { return c >= 2; }
+    static std::uint8_t
+    bump(std::uint8_t c, bool taken)
+    {
+        if (taken)
+            return c < 3 ? c + 1 : 3;
+        return c > 0 ? c - 1 : 0;
+    }
+
+    std::uint64_t pcIndex(std::uint64_t pc, std::uint64_t size) const;
+    BtbEntry *btbFind(std::uint64_t pc);
+    void btbInstall(std::uint64_t pc, std::uint64_t target);
+
+    BpredParams cfg;
+    std::vector<std::uint8_t> bimodal;
+    std::vector<std::uint16_t> history;     //!< PAg level-1
+    std::vector<std::uint8_t> pagTable;     //!< PAg level-2
+    std::vector<std::uint8_t> chooser;      //!< 0-1 bimodal, 2-3 PAg
+    std::vector<BtbEntry> btb;
+    std::uint64_t btbClock = 0;
+    std::uint16_t historyMask;
+    BpredStats stat;
+};
+
+} // namespace mcd
+
+#endif // MCD_CPU_BPRED_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The in-flight (dynamic) instruction record shared by all pipeline
+ * structures, and its lifecycle timestamps. Timestamps double as the
+ * primitive-event trace consumed by the offline analysis tool.
+ */
+
+#ifndef MCD_CPU_DYN_INST_HH
+#define MCD_CPU_DYN_INST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+
+namespace mcd {
+
+/** Sentinel for "no physical register". */
+inline constexpr int noReg = -1;
+
+/** One in-flight instruction. */
+struct DynInst
+{
+    std::uint64_t seq = 0;      //!< dynamic instruction number
+    std::uint64_t pc = 0;
+    Inst inst;
+
+    // Oracle outcomes.
+    bool taken = false;
+    std::uint64_t nextPc = 0;
+    std::uint64_t memAddr = 0;
+    bool isHalt = false;
+
+    // Branch prediction state.
+    bool predictedTaken = false;
+    bool mispredicted = false;
+
+    // Rename state.
+    int destPhys = noReg;
+    int oldDestPhys = noReg;    //!< freed at commit
+    DestKind dest = DestKind::None;
+    int src1Phys = noReg;       //!< noReg when no (live) source
+    int src2Phys = noReg;
+    bool src1Fp = false;        //!< src1 lives in the FP register file
+    bool src2Fp = false;
+    std::uint64_t src1Producer = 0; //!< seq of producing inst (0 = none)
+    std::uint64_t src2Producer = 0;
+
+    // Pipeline status.
+    bool dispatched = false;
+    bool issued = false;        //!< execute (or addr-gen) issued
+    bool executed = false;      //!< execute event finished
+    bool memIssued = false;
+    bool memDone = false;
+    bool retired = false;
+
+    // Timestamps (absolute picoseconds).
+    Tick fetchTime = 0;         //!< entered the fetch queue
+    Tick dispatchTime = 0;      //!< renamed + dispatched
+    Tick issueTime = 0;
+    Tick execDoneTime = 0;      //!< ALU / addr-gen result ready
+    Tick memIssueTime = 0;
+    Tick memDoneTime = 0;       //!< cache access complete
+    Tick memFixedLat = 0;       //!< DRAM (unscalable) part of latency
+    Tick commitTime = 0;
+
+    bool isLoadOp() const { return isLoad(inst.op); }
+    bool isStoreOp() const { return isStore(inst.op); }
+    bool isMemOp() const { return isMem(inst.op); }
+    bool isBranchOp() const { return isBranch(inst.op); }
+    bool isControlOp() const { return isControl(inst.op); }
+
+    /** The time at which this instruction is ready to retire, and the
+     *  domain that produced that signal. */
+    Tick
+    completionTime() const
+    {
+        if (isMemOp())
+            return memDoneTime;
+        return execDoneTime;
+    }
+
+    Domain
+    completionDomain() const
+    {
+        if (isMemOp())
+            return Domain::LoadStore;
+        if (isHalt || inst.op == Opcode::NOP)
+            return Domain::FrontEnd;
+        return execDomain(inst.op);
+    }
+};
+
+} // namespace mcd
+
+#endif // MCD_CPU_DYN_INST_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Functional-unit pools: per-cycle issue bandwidth for pipelined units
+ * and busy-until tracking for unpipelined ones (integer mul/div, FP
+ * mul/div/sqrt), per paper Table 1 (4+1 integer, 2+1 FP units).
+ */
+
+#ifndef MCD_CPU_FU_POOL_HH
+#define MCD_CPU_FU_POOL_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+
+namespace mcd {
+
+/**
+ * A pool of identical functional units.
+ *
+ * Pipelined units accept one operation per unit per cycle; unpipelined
+ * units stay busy for the operation's full latency.
+ */
+class FuPool
+{
+  public:
+    FuPool(int units, bool pipelined)
+        : numUnits(units), isPipelined(pipelined),
+          busyUntil(units, 0)
+    {}
+
+    /** Reset per-cycle issue accounting (call at each domain edge). */
+    void
+    newCycle()
+    {
+        issuedThisCycle = 0;
+    }
+
+    /** Can an operation start at edge time @p now? */
+    bool
+    canIssue(Tick now) const
+    {
+        if (isPipelined)
+            return issuedThisCycle < numUnits;
+        for (Tick t : busyUntil) {
+            if (t <= now)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Claim a unit for an operation finishing at @p done.
+     * Requires canIssue(now).
+     */
+    void
+    issue(Tick now, Tick done)
+    {
+        if (isPipelined) {
+            ++issuedThisCycle;
+            return;
+        }
+        for (Tick &t : busyUntil) {
+            if (t <= now) {
+                t = done;
+                return;
+            }
+        }
+    }
+
+    int units() const { return numUnits; }
+
+  private:
+    int numUnits;
+    bool isPipelined;
+    int issuedThisCycle = 0;
+    std::vector<Tick> busyUntil;
+};
+
+} // namespace mcd
+
+#endif // MCD_CPU_FU_POOL_HH

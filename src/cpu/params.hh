@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Core configuration, following paper Table 1 (an Alpha-21264-like
+ * dynamic superscalar with split ROB / issue queues / register files).
+ */
+
+#ifndef MCD_CPU_PARAMS_HH
+#define MCD_CPU_PARAMS_HH
+
+namespace mcd {
+
+/** Branch predictor configuration (Table 1). */
+struct BpredParams
+{
+    // Combination of bimodal and 2-level PAg.
+    int bimodalSize = 1024;         //!< bimodal predictor entries
+    int l1Size = 1024;              //!< PAg level-1 (per-address history)
+    int historyBits = 10;           //!< PAg history length
+    int l2Size = 1024;              //!< PAg level-2 counter table
+    int chooserSize = 4096;         //!< combining (meta) predictor
+    int btbSets = 4096;
+    int btbAssoc = 2;
+};
+
+/** Core pipeline configuration (Table 1). */
+struct CoreParams
+{
+    int decodeWidth = 4;            //!< fetch/rename/dispatch width
+    int intIssueWidth = 4;          //!< integer issues per cycle
+    int fpIssueWidth = 2;           //!< FP issues per cycle (4+2 = 6)
+    int retireWidth = 11;
+    int mispredictPenalty = 7;      //!< front-end cycles
+
+    int fetchQueueSize = 16;
+    int intIssueQueueSize = 20;
+    int fpIssueQueueSize = 15;
+    int lsqSize = 64;
+    int robSize = 80;
+    int physIntRegs = 72;
+    int physFpRegs = 72;
+
+    int intAlus = 4;
+    int intMulDivs = 1;
+    int fpAlus = 2;
+    int fpMulDivs = 1;
+    int memPorts = 2;               //!< L1D accesses per LS cycle
+
+    BpredParams bpred;
+};
+
+} // namespace mcd
+
+#endif // MCD_CPU_PARAMS_HH

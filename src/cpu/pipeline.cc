@@ -1,0 +1,717 @@
+#include "pipeline.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace mcd {
+
+namespace {
+
+/** Does this instruction occupy an integer issue-queue slot? */
+bool
+usesIntIq(const Inst &inst)
+{
+    Opcode op = inst.op;
+    if (op == Opcode::NOP || op == Opcode::HALT)
+        return false;
+    // Memory ops use the integer queue for address generation.
+    return isIntAlu(op) || isIntMulDiv(op) || isBranch(op) ||
+        isJump(op) || isMem(op);
+}
+
+bool
+usesFpIq(const Inst &inst)
+{
+    return isFp(inst.op);
+}
+
+} // namespace
+
+Pipeline::Pipeline(const CoreParams &params, Executor &oracle_,
+                   MemoryHierarchy &memory,
+                   std::array<ClockDomain *, numDomains> clocks,
+                   double sync_fraction, PowerModel *power,
+                   TraceCollector *collector)
+    : cfg(params), oracle(oracle_), mem(memory), clk(clocks),
+      powerModel(power), tracer(collector),
+      rules{},
+      predictor(params.bpred),
+      intRename(numArchIntRegs, params.physIntRegs),
+      fpRename(numArchFpRegs, params.physFpRegs),
+      intIqCredits(SyncRule(false, 0), params.intIssueQueueSize),
+      fpIqCredits(SyncRule(false, 0), params.fpIssueQueueSize),
+      lsqFree(params.lsqSize),
+      intAluPool(params.intAlus, true),
+      intMulDivPool(params.intMulDivs, false),
+      fpAluPool(params.fpAlus, true),
+      fpMulDivPool(params.fpMulDivs, false)
+{
+    // Build the synchronization-rule matrix. T_s is 30% of the period
+    // of the highest frequency; 1 GHz is the architectural maximum.
+    Hertz fmax = 0.0;
+    for (ClockDomain *c : clk)
+        fmax = std::max(fmax, c->frequency());
+    for (int from = 0; from < numDomains; ++from) {
+        for (int to = 0; to < numDomains; ++to) {
+            bool cross = clk[from] != clk[to];
+            rules[from][to] =
+                SyncRule::forMaxFrequency(cross, fmax, sync_fraction);
+        }
+    }
+    // Issue-queue credit returns cross from the back-end domains into
+    // the front end.
+    intIqCredits = CreditReturnChannel(
+        rule(Domain::Integer, Domain::FrontEnd),
+        params.intIssueQueueSize);
+    fpIqCredits = CreditReturnChannel(
+        rule(Domain::FloatingPoint, Domain::FrontEnd),
+        params.fpIssueQueueSize);
+}
+
+void
+Pipeline::chargePower(Unit u, int count)
+{
+    if (powerModel && count > 0)
+        powerModel->access(u, count);
+}
+
+void
+Pipeline::tickDomain(Domain d, Tick now)
+{
+    switch (d) {
+      case Domain::FrontEnd: tickFrontEnd(now); break;
+      case Domain::Integer: tickInteger(now); break;
+      case Domain::FloatingPoint: tickFloat(now); break;
+      case Domain::LoadStore: tickLoadStore(now); break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Front end: commit, rename/dispatch, fetch.
+// ---------------------------------------------------------------------
+
+void
+Pipeline::tickFrontEnd(Tick now)
+{
+    commitStage(now);
+    renameDispatchStage(now);
+    fetchStage(now);
+}
+
+void
+Pipeline::commitStage(Tick now)
+{
+    int n = 0;
+    while (n < cfg.retireWidth && !rob.empty()) {
+        DynInst *in = rob.front();
+
+        bool complete;
+        if (in->isMemOp()) {
+            complete = in->memDone;
+        } else if (in->isHalt || in->inst.op == Opcode::NOP) {
+            complete = in->executed;
+        } else {
+            complete = in->executed;
+        }
+        if (!complete)
+            break;
+        if (!rule(in->completionDomain(), Domain::FrontEnd)
+                 .visible(in->completionTime(), now)) {
+            break;
+        }
+
+        in->commitTime = now;
+        in->retired = true;
+        lastCommit = now;
+
+        // No pipeline structure may keep a pointer to a retired
+        // instruction: its window slot is reclaimed below.
+        if (in->isMemOp()) {
+            mcdAssert(!lsq.empty() && lsq.front().in == in,
+                      "LSQ/commit order mismatch");
+            lsq.pop_front();
+        }
+        if (stallBranch == in) {
+            // The branch resolved and committed in the same front-end
+            // cycle; begin the redirect penalty now.
+            stallBranch = nullptr;
+            redirectPenaltyLeft = cfg.mispredictPenalty;
+        }
+
+        // Free the previous mapping of the destination register.
+        if (in->oldDestPhys != noReg) {
+            if (in->dest == DestKind::Fp)
+                fpRename.release(in->oldDestPhys);
+            else
+                intRename.release(in->oldDestPhys);
+        }
+        if (in->isMemOp())
+            ++lsqFree;
+
+        chargePower(Unit::Rob);
+        ++stat.committed;
+        Opcode op = in->inst.op;
+        if (in->isLoadOp())
+            ++stat.committedLoads;
+        else if (in->isStoreOp())
+            ++stat.committedStores;
+        else if (isFp(op))
+            ++stat.committedFp;
+        else if (isControl(op)) {
+            ++stat.committedBranches;
+            if (in->mispredicted)
+                ++stat.mispredicts;
+        } else {
+            ++stat.committedInt;
+        }
+
+        recordTrace(in);
+
+        if (in->isHalt)
+            haltCommitted = true;
+
+        rob.pop_front();
+        mcdAssert(!window.empty() && &window.front() == in,
+                  "commit out of window order");
+        window.pop_front();
+        ++n;
+        if (haltCommitted)
+            break;
+    }
+}
+
+void
+Pipeline::renameDispatchStage(Tick now)
+{
+    int n = 0;
+    while (n < cfg.decodeWidth && !fetchQueue.empty()) {
+        DynInst *in = fetchQueue.front();
+        // Fetch-queue entries become readable the cycle after the
+        // I-cache delivers them.
+        if (now <= in->fetchTime)
+            break;
+        if (!dispatchOne(in, now))
+            break;
+        fetchQueue.pop_front();
+        ++n;
+    }
+}
+
+bool
+Pipeline::dispatchOne(DynInst *in, Tick now)
+{
+    const Inst &inst = in->inst;
+    Opcode op = inst.op;
+
+    if (static_cast<int>(rob.size()) >= cfg.robSize) {
+        ++stat.robFullStalls;
+        return false;
+    }
+
+    bool needIntIq = usesIntIq(inst);
+    bool needFpIq = usesFpIq(inst);
+    bool needLsq = isMem(op);
+    DestKind dk = destKind(inst);
+
+    if (dk == DestKind::Int && !intRename.hasFree()) {
+        ++stat.regFullStalls;
+        return false;
+    }
+    if (dk == DestKind::Fp && !fpRename.hasFree()) {
+        ++stat.regFullStalls;
+        return false;
+    }
+    if (needIntIq && intIqCredits.credits(now) <= 0) {
+        ++stat.iqFullStalls;
+        return false;
+    }
+    if (needFpIq && fpIqCredits.credits(now) <= 0) {
+        ++stat.iqFullStalls;
+        return false;
+    }
+    if (needLsq && lsqFree <= 0) {
+        ++stat.lsqFullStalls;
+        return false;
+    }
+
+    // Rename sources.
+    if (readsIntRs1(op) && inst.rs1 != reg::zero) {
+        in->src1Phys = intRename.lookup(inst.rs1);
+        in->src1Fp = false;
+        in->src1Producer = intRename.lastWriterSeq(inst.rs1);
+    } else if (readsFpRs1(op)) {
+        in->src1Phys = fpRename.lookup(inst.rs1);
+        in->src1Fp = true;
+        in->src1Producer = fpRename.lastWriterSeq(inst.rs1);
+    }
+    if (readsIntRs2(op) && inst.rs2 != reg::zero) {
+        in->src2Phys = intRename.lookup(inst.rs2);
+        in->src2Fp = false;
+        in->src2Producer = intRename.lastWriterSeq(inst.rs2);
+    } else if (readsFpRs2(op)) {
+        in->src2Phys = fpRename.lookup(inst.rs2);
+        in->src2Fp = true;
+        in->src2Producer = fpRename.lastWriterSeq(inst.rs2);
+    }
+
+    // Rename destination.
+    in->dest = dk;
+    if (dk == DestKind::Int) {
+        auto [phys, old] = intRename.allocate(inst.rd, in->seq);
+        in->destPhys = phys;
+        in->oldDestPhys = old;
+    } else if (dk == DestKind::Fp) {
+        auto [phys, old] = fpRename.allocate(inst.rd, in->seq);
+        in->destPhys = phys;
+        in->oldDestPhys = old;
+    }
+
+    in->dispatched = true;
+    in->dispatchTime = now;
+    rob.push_back(in);
+
+    chargePower(Unit::Rename);
+    chargePower(Unit::Rob);
+    chargePower(Unit::FetchQueue);
+
+    if (needIntIq) {
+        intIq.push_back({in, now});
+        intIqCredits.take();
+        chargePower(Unit::IntIqWrite);
+    }
+    if (needFpIq) {
+        fpIq.push_back({in, now});
+        fpIqCredits.take();
+        chargePower(Unit::FpIqWrite);
+    }
+    if (needLsq) {
+        lsq.push_back({in, now});
+        --lsqFree;
+        chargePower(Unit::Lsq);
+    }
+
+    if (op == Opcode::NOP || op == Opcode::HALT) {
+        // Completes in the front end without visiting a back-end queue.
+        in->executed = true;
+        in->issueTime = now;
+        in->execDoneTime = now + 1;
+    }
+    return true;
+}
+
+void
+Pipeline::fetchStage(Tick now)
+{
+    if (haltFetched)
+        return;
+
+    // Waiting for a mispredicted branch to resolve: the front end
+    // fetches down the wrong path, burning fetch energy to no effect.
+    if (stallBranch) {
+        if (stallBranch->executed &&
+            rule(execDomain(stallBranch->inst.op), Domain::FrontEnd)
+                .visible(stallBranch->execDoneTime, now)) {
+            stallBranch = nullptr;
+            redirectPenaltyLeft = cfg.mispredictPenalty;
+            wrongPathChargeLeft = 0;
+        } else {
+            ++stat.wrongPathFetchCycles;
+            // Wrong-path fetch burns front-end energy only until the
+            // fetch queue fills; after that the front end sits gated.
+            if (wrongPathChargeLeft > 0) {
+                --wrongPathChargeLeft;
+                chargePower(Unit::Icache);
+                chargePower(Unit::Bpred);
+            }
+            return;
+        }
+    }
+    if (redirectPenaltyLeft > 0) {
+        --redirectPenaltyLeft;
+        ++stat.wrongPathFetchCycles;
+        return;
+    }
+    if (now < fetchReadyTime) {
+        ++stat.icacheMissStallCycles;
+        return;
+    }
+
+    const std::uint64_t lineMask =
+        ~static_cast<std::uint64_t>(mem.l1i().params().lineBytes - 1);
+    std::uint64_t curLine = 0;
+    Tick groupReady = 0;
+    int fetched = 0;
+
+    while (fetched < cfg.decodeWidth &&
+           static_cast<int>(fetchQueue.size()) < cfg.fetchQueueSize) {
+        std::uint64_t pc = oracle.pc();
+
+        if (fetched == 0) {
+            MemAccessResult r = mem.instFetch(pc, now);
+            chargePower(Unit::Icache);
+            chargePower(Unit::Bpred);
+            if (!r.l1Hit) {
+                // Miss: stall fetch until the line arrives (the line
+                // is installed and hits on retry).
+                fetchReadyTime = r.ready;
+                return;
+            }
+            curLine = pc & lineMask;
+            groupReady = r.ready;
+        } else if ((pc & lineMask) != curLine) {
+            break;  // next line next cycle
+        }
+
+        ExecResult er = oracle.step();
+        window.emplace_back();
+        DynInst *in = &window.back();
+        in->seq = er.seq;
+        in->pc = er.pc;
+        in->inst = er.inst;
+        in->taken = er.taken;
+        in->nextPc = er.nextPc;
+        in->memAddr = er.memAddr;
+        in->isHalt = er.halted;
+        in->fetchTime = groupReady;
+
+        Opcode op = er.inst.op;
+        if (isBranch(op)) {
+            BpredLookup look = predictor.predictBranch(er.pc);
+            in->predictedTaken = look.taken;
+            bool correct;
+            if (er.taken) {
+                correct = look.taken && look.btbHit &&
+                    look.target == er.nextPc;
+            } else {
+                correct = !look.taken;
+            }
+            in->mispredicted = !correct;
+            predictor.update(er.pc, er.taken, er.nextPc, look.taken,
+                             true);
+        } else if (op == Opcode::JALR) {
+            BpredLookup look = predictor.predictIndirect(er.pc);
+            in->predictedTaken = true;
+            in->mispredicted = !(look.btbHit && look.target == er.nextPc);
+            predictor.update(er.pc, true, er.nextPc, true, false);
+        }
+        // JAL: target computed in the decoder; never a misprediction.
+
+        fetchQueue.push_back(in);
+        ++fetched;
+        ++stat.fetched;
+
+        if (er.halted) {
+            haltFetched = true;
+            break;
+        }
+        if (in->mispredicted) {
+            stallBranch = in;
+            wrongPathChargeLeft =
+                cfg.fetchQueueSize / cfg.decodeWidth + 2;
+            break;
+        }
+        if (er.taken)
+            break;  // redirect: next group starts at the target
+    }
+}
+
+// ---------------------------------------------------------------------
+// Operand readiness.
+// ---------------------------------------------------------------------
+
+bool
+Pipeline::sourceReady(int phys, bool is_fp, Domain consumer,
+                      Tick now) const
+{
+    if (phys == noReg)
+        return true;
+    const RenameState &rs = is_fp ? fpRename : intRename;
+    if (!rs.isReady(phys))
+        return false;
+    return rule(rs.producedBy(phys), consumer)
+        .visible(rs.readyAt(phys), now);
+}
+
+bool
+Pipeline::operandsReady(const DynInst *in, Domain consumer,
+                        Tick now) const
+{
+    return sourceReady(in->src1Phys, in->src1Fp, consumer, now) &&
+        sourceReady(in->src2Phys, in->src2Fp, consumer, now);
+}
+
+void
+Pipeline::produceResult(DynInst *in, Tick when, Domain producer)
+{
+    if (in->dest == DestKind::Int)
+        intRename.markReady(in->destPhys, when, producer, in->seq);
+    else if (in->dest == DestKind::Fp)
+        fpRename.markReady(in->destPhys, when, producer, in->seq);
+}
+
+// ---------------------------------------------------------------------
+// Integer domain: issue queue + ALUs + address generation.
+// ---------------------------------------------------------------------
+
+void
+Pipeline::tickInteger(Tick now)
+{
+    intAluPool.newCycle();
+    intMulDivPool.newCycle();
+
+    const double period = clk[domainIndex(Domain::Integer)]->period();
+    int issued = 0;
+    bool anyIssued = false;
+
+    for (QueueEntry &ent : intIq) {
+        if (issued >= cfg.intIssueWidth)
+            break;
+        DynInst *in = ent.in;
+        if (in->issued)
+            continue;
+        if (!rule(Domain::FrontEnd, Domain::Integer).visible(ent.wrote,
+                                                             now)) {
+            continue;
+        }
+
+        Opcode op = in->inst.op;
+        bool isAddrGen = isMem(op);
+
+        // Address generation needs only the base register.
+        bool ready = isAddrGen
+            ? sourceReady(in->src1Phys, in->src1Fp, Domain::Integer, now)
+            : operandsReady(in, Domain::Integer, now);
+        if (!ready)
+            continue;
+
+        FuPool &pool = isIntMulDiv(op) ? intMulDivPool : intAluPool;
+        if (!pool.canIssue(now))
+            continue;
+
+        int lat = isAddrGen ? 1 : execLatency(op);
+        // Result is latched at the lat-th integer edge after issue;
+        // encode it half a period early so jittered edges compare
+        // robustly (see DESIGN.md, completion-time encoding).
+        Tick done = now + static_cast<Tick>((lat - 0.5) * period);
+        pool.issue(now, done);
+
+        in->issued = true;
+        in->issueTime = now;
+        in->execDoneTime = done;
+        in->executed = true;
+        anyIssued = true;
+
+        if (!isAddrGen && in->dest != DestKind::None) {
+            produceResult(in, done, Domain::Integer);
+            chargePower(Unit::IntRegWrite);
+        }
+
+        chargePower(Unit::IntIqIssue);
+        chargePower(isIntMulDiv(op) ? Unit::IntMulDiv : Unit::IntAlu);
+        int reads = (in->src1Phys != noReg && !in->src1Fp ? 1 : 0) +
+            (in->src2Phys != noReg && !in->src2Fp ? 1 : 0);
+        chargePower(Unit::IntRegRead, reads);
+
+        // The issue-queue slot frees at issue; the credit crosses back
+        // to the front end.
+        intIqCredits.give(now);
+        ++stat.intIqIssues;
+        stat.intIqResidencePs += now - in->dispatchTime;
+        ++issued;
+    }
+
+    if (anyIssued) {
+        intIq.erase(std::remove_if(intIq.begin(), intIq.end(),
+                                   [](const QueueEntry &e) {
+                                       return e.in->issued;
+                                   }),
+                    intIq.end());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Floating-point domain.
+// ---------------------------------------------------------------------
+
+void
+Pipeline::tickFloat(Tick now)
+{
+    fpAluPool.newCycle();
+    fpMulDivPool.newCycle();
+
+    const double period =
+        clk[domainIndex(Domain::FloatingPoint)]->period();
+    int issued = 0;
+    bool anyIssued = false;
+
+    for (QueueEntry &ent : fpIq) {
+        if (issued >= cfg.fpIssueWidth)
+            break;
+        DynInst *in = ent.in;
+        if (in->issued)
+            continue;
+        if (!rule(Domain::FrontEnd, Domain::FloatingPoint)
+                 .visible(ent.wrote, now)) {
+            continue;
+        }
+        if (!operandsReady(in, Domain::FloatingPoint, now))
+            continue;
+
+        Opcode op = in->inst.op;
+        bool isLong = fuClass(op) == FuClass::FpMulDivSqrt;
+        FuPool &pool = isLong ? fpMulDivPool : fpAluPool;
+        if (!pool.canIssue(now))
+            continue;
+
+        int lat = execLatency(op);
+        Tick done = now + static_cast<Tick>((lat - 0.5) * period);
+        pool.issue(now, done);
+
+        in->issued = true;
+        in->issueTime = now;
+        in->execDoneTime = done;
+        in->executed = true;
+        anyIssued = true;
+
+        if (in->dest != DestKind::None) {
+            produceResult(in, done, Domain::FloatingPoint);
+            chargePower(Unit::FpRegWrite);
+        }
+
+        chargePower(Unit::FpIqIssue);
+        chargePower(isLong ? Unit::FpMulDiv : Unit::FpAlu);
+        int reads = (in->src1Phys != noReg && in->src1Fp ? 1 : 0) +
+            (in->src2Phys != noReg && in->src2Fp ? 1 : 0);
+        chargePower(Unit::FpRegRead, reads);
+
+        fpIqCredits.give(now);
+        ++issued;
+    }
+
+    if (anyIssued) {
+        fpIq.erase(std::remove_if(fpIq.begin(), fpIq.end(),
+                                  [](const QueueEntry &e) {
+                                      return e.in->issued;
+                                  }),
+                   fpIq.end());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Load/store domain: LSQ + D-cache ports.
+// ---------------------------------------------------------------------
+
+void
+Pipeline::tickLoadStore(Tick now)
+{
+    int portsUsed = 0;
+
+    const SyncRule &feToLs = rule(Domain::FrontEnd, Domain::LoadStore);
+    const SyncRule &intToLs = rule(Domain::Integer, Domain::LoadStore);
+
+    for (std::size_t i = 0; i < lsq.size(); ++i) {
+        if (portsUsed >= cfg.memPorts)
+            break;
+        DynInst *in = lsq[i].in;
+        if (in->memIssued)
+            continue;
+        if (!feToLs.visible(lsq[i].wrote, now))
+            break;  // later entries were written even later
+
+        bool addrVisible = in->issued &&
+            intToLs.visible(in->execDoneTime, now);
+        if (!addrVisible)
+            continue;
+
+        if (in->isStoreOp()) {
+            // Stores need their data before writing the cache.
+            if (!sourceReady(in->src2Phys, in->src2Fp,
+                             Domain::LoadStore, now)) {
+                continue;
+            }
+            MemAccessResult r =
+                mem.dataAccess(in->memAddr & ~7ULL, true, now);
+            in->memIssued = true;
+            in->memIssueTime = now;
+            in->memDoneTime = r.ready;
+            in->memFixedLat = r.dramTime;
+            in->memDone = true;
+            chargePower(Unit::Dcache);
+            if (r.l2Accessed)
+                chargePower(Unit::L2);
+            ++portsUsed;
+            continue;
+        }
+
+        // Load: SimpleScalar-style perfect disambiguation -- only an
+        // older store to the same word blocks (or forwards to) the
+        // load; stores with unknown addresses do not.
+        bool blocked = false;
+        bool forwarded = false;
+        for (std::size_t j = 0; j < i; ++j) {
+            DynInst *st = lsq[j].in;
+            if (!st->isStoreOp())
+                continue;
+            if ((st->memAddr & ~7ULL) == (in->memAddr & ~7ULL)) {
+                if (st->memIssued) {
+                    forwarded = true;   // store buffer forwarding
+                } else {
+                    blocked = true;     // wait for the store's data
+                    break;
+                }
+            }
+        }
+        if (blocked)
+            continue;
+
+        in->memIssued = true;
+        in->memIssueTime = now;
+        if (forwarded) {
+            const double period =
+                clk[domainIndex(Domain::LoadStore)]->period();
+            in->memDoneTime = now + static_cast<Tick>(0.5 * period);
+            chargePower(Unit::Lsq);
+        } else {
+            MemAccessResult r =
+                mem.dataAccess(in->memAddr & ~7ULL, false, now);
+            in->memDoneTime = r.ready;
+            in->memFixedLat = r.dramTime;
+            chargePower(Unit::Dcache);
+            if (r.l2Accessed)
+                chargePower(Unit::L2);
+        }
+        in->memDone = true;
+        produceResult(in, in->memDoneTime, Domain::LoadStore);
+        ++portsUsed;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace recording.
+// ---------------------------------------------------------------------
+
+void
+Pipeline::recordTrace(const DynInst *in)
+{
+    if (!tracer || !tracer->isEnabled())
+        return;
+    InstTrace t;
+    t.seq = in->seq;
+    t.op = in->inst.op;
+    t.fu = fuClass(in->inst.op);
+    t.dep1 = in->src1Producer;
+    t.dep2 = in->src2Producer;
+    t.mispredicted = in->mispredicted;
+    t.fetchTime = in->fetchTime;
+    t.dispatchTime = in->dispatchTime;
+    t.issueTime = in->issueTime;
+    t.execDone = in->execDoneTime;
+    t.memIssue = in->memIssueTime;
+    t.memDone = in->memDoneTime;
+    t.memFixed = in->memFixedLat;
+    t.commitTime = in->commitTime;
+    tracer->record(t);
+}
+
+} // namespace mcd

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The out-of-order MCD pipeline (paper Section 2, Table 1).
+ *
+ * Four domain tick functions implement the machine:
+ *
+ *  - Front end (fetch, branch prediction, rename, dispatch, ROB,
+ *    commit). Fetches the architecturally correct path from the
+ *    functional oracle; on a misprediction, fetch stalls until the
+ *    branch resolves in its back-end domain, pays the inter-domain
+ *    synchronization delay on the resolution signal, then a 7-cycle
+ *    refill penalty (wrong-path fetch activity is charged to the
+ *    front-end power model during the stall).
+ *
+ *  - Integer domain (20-entry issue queue, 4 ALUs + mul/div unit).
+ *    Also executes memory address generation (21264-style AGUs).
+ *
+ *  - Floating-point domain (15-entry issue queue, 2 ALUs +
+ *    mul/div/sqrt unit).
+ *
+ *  - Load/store domain (64-entry LSQ, 2 cache ports, L1D + L2).
+ *
+ * All boundary crossings — dispatch into the issue queues and LSQ,
+ * issue-queue credit returns, register results consumed across
+ * domains, branch resolutions, and completion signals to the ROB —
+ * are subject to the SyncRule of the (source, destination) domain
+ * pair. In the singly clocked configuration all four ticks share one
+ * clock and every rule collapses to plain next-edge visibility, so
+ * the synchronization overhead measured between the two configs is
+ * attributable purely to the MCD clocking style, as in the paper.
+ */
+
+#ifndef MCD_CPU_PIPELINE_HH
+#define MCD_CPU_PIPELINE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "clock/clock_domain.hh"
+#include "clock/sync.hh"
+#include "cpu/bpred.hh"
+#include "cpu/dyn_inst.hh"
+#include "cpu/fu_pool.hh"
+#include "cpu/params.hh"
+#include "cpu/regfile.hh"
+#include "isa/executor.hh"
+#include "mem/hierarchy.hh"
+#include "power/power_model.hh"
+#include "trace/trace.hh"
+
+namespace mcd {
+
+/** Aggregate pipeline statistics for one run. */
+struct PipelineStats
+{
+    std::uint64_t fetched = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t committedInt = 0;
+    std::uint64_t committedFp = 0;
+    std::uint64_t committedLoads = 0;
+    std::uint64_t committedStores = 0;
+    std::uint64_t committedBranches = 0;
+    std::uint64_t mispredicts = 0;
+
+    std::uint64_t wrongPathFetchCycles = 0;
+    std::uint64_t icacheMissStallCycles = 0;
+    std::uint64_t robFullStalls = 0;
+    std::uint64_t iqFullStalls = 0;
+    std::uint64_t intIqIssues = 0;
+    std::uint64_t intIqResidencePs = 0; //!< dispatch->issue, summed
+    std::uint64_t lsqFullStalls = 0;
+    std::uint64_t regFullStalls = 0;
+};
+
+/**
+ * The four-domain out-of-order engine.
+ */
+class Pipeline
+{
+  public:
+    /**
+     * @param params machine configuration (Table 1)
+     * @param oracle in-order functional executor supplying the
+     *        correct-path instruction stream
+     * @param memory the cache hierarchy
+     * @param clocks one ClockDomain per architectural domain; in the
+     *        singly clocked configuration all entries alias one object
+     * @param sync_fraction T_s as a fraction of the fastest period
+     * @param power optional power model (may be nullptr)
+     * @param collector optional trace collector (may be nullptr)
+     */
+    Pipeline(const CoreParams &params, Executor &oracle,
+             MemoryHierarchy &memory,
+             std::array<ClockDomain *, numDomains> clocks,
+             double sync_fraction, PowerModel *power,
+             TraceCollector *collector);
+
+    /** Perform one cycle of work for domain @p d at edge time @p now. */
+    void tickDomain(Domain d, Tick now);
+
+    /** True once HALT has committed. */
+    bool done() const { return haltCommitted; }
+
+    std::uint64_t committed() const { return stat.committed; }
+    Tick lastCommitTime() const { return lastCommit; }
+    const PipelineStats &stats() const { return stat; }
+    const BranchPredictor &bpred() const { return predictor; }
+
+    /** In-flight instruction count (test hook). */
+    std::size_t inFlight() const { return window.size(); }
+
+  private:
+    struct QueueEntry
+    {
+        DynInst *in = nullptr;
+        Tick wrote = 0;
+    };
+
+    // Stage functions.
+    void tickFrontEnd(Tick now);
+    void tickInteger(Tick now);
+    void tickFloat(Tick now);
+    void tickLoadStore(Tick now);
+
+    void commitStage(Tick now);
+    void renameDispatchStage(Tick now);
+    void fetchStage(Tick now);
+
+    bool dispatchOne(DynInst *in, Tick now);
+    bool operandsReady(const DynInst *in, Domain consumer,
+                       Tick now) const;
+    bool sourceReady(int phys, bool is_fp, Domain consumer,
+                     Tick now) const;
+    void produceResult(DynInst *in, Tick when, Domain producer);
+    void recordTrace(const DynInst *in);
+
+    const SyncRule &
+    rule(Domain from, Domain to) const
+    {
+        return rules[domainIndex(from)][domainIndex(to)];
+    }
+
+    void chargePower(Unit u, int count = 1);
+
+    CoreParams cfg;
+    Executor &oracle;
+    MemoryHierarchy &mem;
+    std::array<ClockDomain *, numDomains> clk;
+    PowerModel *powerModel;
+    TraceCollector *tracer;
+
+    std::array<std::array<SyncRule, numDomains>, numDomains> rules;
+
+    BranchPredictor predictor;
+    RenameState intRename;
+    RenameState fpRename;
+
+    // Instruction window storage (fetch order; popped at commit).
+    std::deque<DynInst> window;
+    std::deque<DynInst *> fetchQueue;
+    std::deque<DynInst *> rob;
+    std::vector<QueueEntry> intIq;
+    std::vector<QueueEntry> fpIq;
+    std::deque<QueueEntry> lsq;
+
+    CreditReturnChannel intIqCredits;
+    CreditReturnChannel fpIqCredits;
+    int lsqFree;
+
+    FuPool intAluPool;
+    FuPool intMulDivPool;
+    FuPool fpAluPool;
+    FuPool fpMulDivPool;
+
+    // Fetch state.
+    bool haltFetched = false;
+    bool haltCommitted = false;
+    Tick fetchReadyTime = 0;    //!< earliest next fetch (I-miss, redirect)
+    DynInst *stallBranch = nullptr;
+    int redirectPenaltyLeft = 0;
+    int wrongPathChargeLeft = 0;    //!< stall cycles that still fetch
+
+    Tick lastCommit = 0;
+    PipelineStats stat;
+};
+
+} // namespace mcd
+
+#endif // MCD_CPU_PIPELINE_HH

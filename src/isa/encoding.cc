@@ -1,0 +1,139 @@
+#include "encoding.hh"
+
+#include "common/log.hh"
+
+namespace mcd {
+
+namespace {
+
+enum class Format { R, I, S, B, J, N };
+
+Format
+formatOf(Opcode op)
+{
+    if (op == Opcode::NOP || op == Opcode::HALT)
+        return Format::N;
+    if (isBranch(op))
+        return Format::B;
+    if (op == Opcode::JAL)
+        return Format::J;
+    if (isStore(op))
+        return Format::S;
+    switch (op) {
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SLLI: case Opcode::SRLI:
+      case Opcode::SRAI: case Opcode::SLTI: case Opcode::LUI:
+      case Opcode::LD: case Opcode::FLD: case Opcode::JALR:
+        return Format::I;
+      default:
+        return Format::R;
+    }
+}
+
+std::uint32_t
+imm16Bits(std::int32_t imm)
+{
+    if (imm < -32768 || imm > 32767)
+        panic("encode: imm16 out of range");
+    return static_cast<std::uint32_t>(imm) & 0xffffu;
+}
+
+std::uint32_t
+imm21Bits(std::int32_t imm)
+{
+    if (imm < -(1 << 20) || imm >= (1 << 20))
+        panic("encode: imm21 out of range");
+    return static_cast<std::uint32_t>(imm) & 0x1fffffu;
+}
+
+std::int32_t
+signExtend16(std::uint32_t bits)
+{
+    return static_cast<std::int32_t>(static_cast<std::int16_t>(bits));
+}
+
+std::int32_t
+signExtend21(std::uint32_t bits)
+{
+    if (bits & 0x100000u)
+        bits |= ~0x1fffffu;
+    return static_cast<std::int32_t>(bits);
+}
+
+} // namespace
+
+std::uint32_t
+encode(const Inst &inst)
+{
+    std::uint32_t w = static_cast<std::uint32_t>(inst.op) << 26;
+    switch (formatOf(inst.op)) {
+      case Format::N:
+        break;
+      case Format::R:
+        w |= (inst.rd & 0x1fu) << 21;
+        w |= (inst.rs1 & 0x1fu) << 16;
+        w |= (inst.rs2 & 0x1fu) << 11;
+        break;
+      case Format::I:
+        w |= (inst.rd & 0x1fu) << 21;
+        w |= (inst.rs1 & 0x1fu) << 16;
+        w |= imm16Bits(inst.imm);
+        break;
+      case Format::S:
+        w |= (inst.rs2 & 0x1fu) << 21;
+        w |= (inst.rs1 & 0x1fu) << 16;
+        w |= imm16Bits(inst.imm);
+        break;
+      case Format::B:
+        w |= (inst.rs1 & 0x1fu) << 21;
+        w |= (inst.rs2 & 0x1fu) << 16;
+        w |= imm16Bits(inst.imm);
+        break;
+      case Format::J:
+        w |= (inst.rd & 0x1fu) << 21;
+        w |= imm21Bits(inst.imm);
+        break;
+    }
+    return w;
+}
+
+Inst
+decode(std::uint32_t word)
+{
+    auto opBits = word >> 26;
+    if (opBits >= static_cast<std::uint32_t>(Opcode::NumOpcodes))
+        panic("decode: bad opcode field");
+    Inst inst;
+    inst.op = static_cast<Opcode>(opBits);
+    switch (formatOf(inst.op)) {
+      case Format::N:
+        break;
+      case Format::R:
+        inst.rd = (word >> 21) & 0x1f;
+        inst.rs1 = (word >> 16) & 0x1f;
+        inst.rs2 = (word >> 11) & 0x1f;
+        break;
+      case Format::I:
+        inst.rd = (word >> 21) & 0x1f;
+        inst.rs1 = (word >> 16) & 0x1f;
+        inst.imm = signExtend16(word & 0xffffu);
+        break;
+      case Format::S:
+        inst.rs2 = (word >> 21) & 0x1f;
+        inst.rs1 = (word >> 16) & 0x1f;
+        inst.imm = signExtend16(word & 0xffffu);
+        break;
+      case Format::B:
+        inst.rs1 = (word >> 21) & 0x1f;
+        inst.rs2 = (word >> 16) & 0x1f;
+        inst.imm = signExtend16(word & 0xffffu);
+        break;
+      case Format::J:
+        inst.rd = (word >> 21) & 0x1f;
+        inst.imm = signExtend21(word & 0x1fffffu);
+        break;
+    }
+    return inst;
+}
+
+} // namespace mcd

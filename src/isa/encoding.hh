@@ -1,0 +1,38 @@
+/**
+ * @file
+ * 32-bit binary encoding of the mini-ISA.
+ *
+ * Layout (bit 31 is the MSB):
+ *   [31:26] opcode
+ *   R-type:  [25:21] rd   [20:16] rs1  [15:11] rs2
+ *   I-type:  [25:21] rd   [20:16] rs1  [15:0]  imm16 (signed)
+ *   S-type:  [25:21] rs2  [20:16] rs1  [15:0]  imm16 (stores)
+ *   B-type:  [25:21] rs1  [20:16] rs2  [15:0]  imm16 (branch disp, bytes)
+ *   J-type:  [25:21] rd   [20:0]  imm21 (signed jump disp, bytes)
+ *
+ * The encoding exists so the text image is byte-addressable (the L1
+ * I-cache operates on real addresses) and so programs round-trip
+ * through a binary form for testing.
+ */
+
+#ifndef MCD_ISA_ENCODING_HH
+#define MCD_ISA_ENCODING_HH
+
+#include <cstdint>
+
+#include "isa/inst.hh"
+
+namespace mcd {
+
+/** Size of one encoded instruction in bytes. */
+inline constexpr std::uint64_t instBytes = 4;
+
+/** Encode a decoded instruction into its 32-bit binary form. */
+std::uint32_t encode(const Inst &inst);
+
+/** Decode a 32-bit word into an instruction. */
+Inst decode(std::uint32_t word);
+
+} // namespace mcd
+
+#endif // MCD_ISA_ENCODING_HH

@@ -1,0 +1,309 @@
+#include "inst.hh"
+
+#include <cstdio>
+
+namespace mcd {
+
+bool
+isIntAlu(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::SUB: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SLL:
+      case Opcode::SRL: case Opcode::SRA: case Opcode::SLT:
+      case Opcode::SLTU: case Opcode::ADDI: case Opcode::ANDI:
+      case Opcode::ORI: case Opcode::XORI: case Opcode::SLLI:
+      case Opcode::SRLI: case Opcode::SRAI: case Opcode::SLTI:
+      case Opcode::LUI:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isIntMulDiv(Opcode op)
+{
+    return op == Opcode::MUL || op == Opcode::DIV || op == Opcode::REM;
+}
+
+bool
+isFp(Opcode op)
+{
+    switch (op) {
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
+      case Opcode::FDIV: case Opcode::FSQRT: case Opcode::FNEG:
+      case Opcode::FABS: case Opcode::FMOV: case Opcode::FMIN:
+      case Opcode::FMAX: case Opcode::FCLT: case Opcode::FCLE:
+      case Opcode::FCEQ: case Opcode::ITOF: case Opcode::FTOI:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::LD || op == Opcode::FLD;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::ST || op == Opcode::FST;
+}
+
+bool
+isBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isJump(Opcode op)
+{
+    return op == Opcode::JAL || op == Opcode::JALR;
+}
+
+FuClass
+fuClass(Opcode op)
+{
+    if (isIntAlu(op) || isBranch(op) || isJump(op))
+        return FuClass::IntAlu;
+    if (isIntMulDiv(op))
+        return FuClass::IntMulDiv;
+    if (isMem(op))
+        return FuClass::MemPort;
+    if (op == Opcode::FMUL || op == Opcode::FDIV || op == Opcode::FSQRT)
+        return FuClass::FpMulDivSqrt;
+    if (isFp(op))
+        return FuClass::FpAlu;
+    return FuClass::None;
+}
+
+int
+execLatency(Opcode op)
+{
+    // Alpha-21264-inspired latencies; memory latency is supplied by the
+    // cache hierarchy, so LD/ST here is the port occupancy only.
+    switch (op) {
+      case Opcode::MUL: return 7;
+      case Opcode::DIV: case Opcode::REM: return 20;
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMIN:
+      case Opcode::FMAX: case Opcode::FNEG: case Opcode::FABS:
+      case Opcode::FMOV: case Opcode::FCLT: case Opcode::FCLE:
+      case Opcode::FCEQ: case Opcode::ITOF: case Opcode::FTOI:
+        return 4;
+      case Opcode::FMUL: return 4;
+      case Opcode::FDIV: return 12;
+      case Opcode::FSQRT: return 18;
+      default: return 1;
+    }
+}
+
+DestKind
+destKind(const Inst &inst)
+{
+    Opcode op = inst.op;
+    if (op == Opcode::NOP || op == Opcode::HALT || isBranch(op) ||
+        isStore(op)) {
+        return DestKind::None;
+    }
+    if (op == Opcode::FLD)
+        return DestKind::Fp;
+    if (op == Opcode::LD)
+        return inst.rd == reg::zero ? DestKind::None : DestKind::Int;
+    if (isFp(op)) {
+        // FP compares and FTOI write integer registers.
+        if (op == Opcode::FCLT || op == Opcode::FCLE ||
+            op == Opcode::FCEQ || op == Opcode::FTOI) {
+            return inst.rd == reg::zero ? DestKind::None : DestKind::Int;
+        }
+        return DestKind::Fp;
+    }
+    // Integer ALU / mul-div / jumps (link register).
+    return inst.rd == reg::zero ? DestKind::None : DestKind::Int;
+}
+
+bool
+readsIntRs1(Opcode op)
+{
+    if (isIntAlu(op) && op != Opcode::LUI)
+        return true;
+    if (isIntMulDiv(op) || isBranch(op) || isMem(op))
+        return true;    // memory base register
+    if (op == Opcode::JALR || op == Opcode::ITOF)
+        return true;
+    return false;
+}
+
+bool
+readsIntRs2(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::SUB: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SLL:
+      case Opcode::SRL: case Opcode::SRA: case Opcode::SLT:
+      case Opcode::SLTU: case Opcode::MUL: case Opcode::DIV:
+      case Opcode::REM:
+        return true;
+      case Opcode::BEQ: case Opcode::BNE: case Opcode::BLT:
+      case Opcode::BGE: case Opcode::BLTU: case Opcode::BGEU:
+        return true;
+      case Opcode::ST:
+        return true;    // store data
+      default:
+        return false;
+    }
+}
+
+bool
+readsFpRs1(Opcode op)
+{
+    switch (op) {
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
+      case Opcode::FDIV: case Opcode::FSQRT: case Opcode::FNEG:
+      case Opcode::FABS: case Opcode::FMOV: case Opcode::FMIN:
+      case Opcode::FMAX: case Opcode::FCLT: case Opcode::FCLE:
+      case Opcode::FCEQ: case Opcode::FTOI:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+readsFpRs2(Opcode op)
+{
+    switch (op) {
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
+      case Opcode::FDIV: case Opcode::FMIN: case Opcode::FMAX:
+      case Opcode::FCLT: case Opcode::FCLE: case Opcode::FCEQ:
+        return true;
+      case Opcode::FST:
+        return true;    // store data
+      default:
+        return false;
+    }
+}
+
+Domain
+execDomain(Opcode op)
+{
+    if (isMem(op))
+        return Domain::LoadStore;
+    if (isFp(op))
+        return Domain::FloatingPoint;
+    return Domain::Integer;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::NOP: return "nop";
+      case Opcode::HALT: return "halt";
+      case Opcode::ADD: return "add";
+      case Opcode::SUB: return "sub";
+      case Opcode::AND: return "and";
+      case Opcode::OR: return "or";
+      case Opcode::XOR: return "xor";
+      case Opcode::SLL: return "sll";
+      case Opcode::SRL: return "srl";
+      case Opcode::SRA: return "sra";
+      case Opcode::SLT: return "slt";
+      case Opcode::SLTU: return "sltu";
+      case Opcode::MUL: return "mul";
+      case Opcode::DIV: return "div";
+      case Opcode::REM: return "rem";
+      case Opcode::ADDI: return "addi";
+      case Opcode::ANDI: return "andi";
+      case Opcode::ORI: return "ori";
+      case Opcode::XORI: return "xori";
+      case Opcode::SLLI: return "slli";
+      case Opcode::SRLI: return "srli";
+      case Opcode::SRAI: return "srai";
+      case Opcode::SLTI: return "slti";
+      case Opcode::LUI: return "lui";
+      case Opcode::LD: return "ld";
+      case Opcode::ST: return "st";
+      case Opcode::FLD: return "fld";
+      case Opcode::FST: return "fst";
+      case Opcode::FADD: return "fadd";
+      case Opcode::FSUB: return "fsub";
+      case Opcode::FMUL: return "fmul";
+      case Opcode::FDIV: return "fdiv";
+      case Opcode::FSQRT: return "fsqrt";
+      case Opcode::FNEG: return "fneg";
+      case Opcode::FABS: return "fabs";
+      case Opcode::FMOV: return "fmov";
+      case Opcode::FMIN: return "fmin";
+      case Opcode::FMAX: return "fmax";
+      case Opcode::FCLT: return "fclt";
+      case Opcode::FCLE: return "fcle";
+      case Opcode::FCEQ: return "fceq";
+      case Opcode::ITOF: return "itof";
+      case Opcode::FTOI: return "ftoi";
+      case Opcode::BEQ: return "beq";
+      case Opcode::BNE: return "bne";
+      case Opcode::BLT: return "blt";
+      case Opcode::BGE: return "bge";
+      case Opcode::BLTU: return "bltu";
+      case Opcode::BGEU: return "bgeu";
+      case Opcode::JAL: return "jal";
+      case Opcode::JALR: return "jalr";
+      default: return "??";
+    }
+}
+
+std::string
+disassemble(const Inst &inst)
+{
+    char buf[96];
+    const char *name = opcodeName(inst.op);
+    Opcode op = inst.op;
+    if (op == Opcode::NOP || op == Opcode::HALT) {
+        std::snprintf(buf, sizeof(buf), "%s", name);
+    } else if (isBranch(op)) {
+        std::snprintf(buf, sizeof(buf), "%s r%d, r%d, %d",
+                      name, inst.rs1, inst.rs2, inst.imm);
+    } else if (op == Opcode::JAL) {
+        std::snprintf(buf, sizeof(buf), "%s r%d, %d",
+                      name, inst.rd, inst.imm);
+    } else if (op == Opcode::JALR) {
+        std::snprintf(buf, sizeof(buf), "%s r%d, r%d, %d",
+                      name, inst.rd, inst.rs1, inst.imm);
+    } else if (isMem(op)) {
+        const char pfx = (op == Opcode::FLD || op == Opcode::FST)
+            ? 'f' : 'r';
+        std::snprintf(buf, sizeof(buf), "%s %c%d, %d(r%d)", name, pfx,
+                      (isStore(op) ? inst.rs2 : inst.rd), inst.imm,
+                      inst.rs1);
+    } else if (isFp(op)) {
+        std::snprintf(buf, sizeof(buf), "%s %d, %d, %d",
+                      name, inst.rd, inst.rs1, inst.rs2);
+    } else if (op == Opcode::LUI) {
+        std::snprintf(buf, sizeof(buf), "%s r%d, %d",
+                      name, inst.rd, inst.imm);
+    } else if (isIntAlu(op) &&
+               (op == Opcode::ADDI || op == Opcode::ANDI ||
+                op == Opcode::ORI || op == Opcode::XORI ||
+                op == Opcode::SLLI || op == Opcode::SRLI ||
+                op == Opcode::SRAI || op == Opcode::SLTI)) {
+        std::snprintf(buf, sizeof(buf), "%s r%d, r%d, %d",
+                      name, inst.rd, inst.rs1, inst.imm);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s r%d, r%d, r%d",
+                      name, inst.rd, inst.rs1, inst.rs2);
+    }
+    return buf;
+}
+
+} // namespace mcd

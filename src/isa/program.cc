@@ -1,0 +1,19 @@
+#include "program.hh"
+
+#include "common/log.hh"
+
+namespace mcd {
+
+Program::Program(std::string name, std::uint64_t text_base,
+                 std::vector<std::uint32_t> text_words, MemoryImage data)
+    : progName(std::move(name)), base(text_base),
+      words(std::move(text_words)), dataImage(std::move(data))
+{
+    if (base & 3)
+        fatal("program text base must be 4-byte aligned");
+    decoded.reserve(words.size());
+    for (std::uint32_t w : words)
+        decoded.push_back(decode(w));
+}
+
+} // namespace mcd

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A loaded mini-ISA program: encoded text image, initial data image,
+ * and entry point.
+ */
+
+#ifndef MCD_ISA_PROGRAM_HH
+#define MCD_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/encoding.hh"
+#include "isa/inst.hh"
+#include "isa/memory_image.hh"
+
+namespace mcd {
+
+/** Default base address of the text segment. */
+inline constexpr std::uint64_t defaultTextBase = 0x10000;
+
+/** Default base address of the data segment. */
+inline constexpr std::uint64_t defaultDataBase = 0x400000;
+
+/** Default initial stack pointer (grows down). */
+inline constexpr std::uint64_t defaultStackTop = 0x8000000;
+
+/**
+ * An executable program image.
+ *
+ * Text is stored both encoded (for the I-cache's address stream and
+ * binary round-trip tests) and pre-decoded (for fast functional and
+ * timing simulation).
+ */
+class Program
+{
+  public:
+    Program(std::string name, std::uint64_t text_base,
+            std::vector<std::uint32_t> text_words, MemoryImage data);
+
+    const std::string &name() const { return progName; }
+    std::uint64_t textBase() const { return base; }
+    std::uint64_t entry() const { return base; }
+    std::size_t textSize() const { return words.size(); }
+
+    /** Highest valid instruction address + 4. */
+    std::uint64_t textLimit() const { return base + 4 * words.size(); }
+
+    /** True if @p pc addresses a valid instruction. */
+    bool
+    validPc(std::uint64_t pc) const
+    {
+        return pc >= base && pc < textLimit() && (pc & 3) == 0;
+    }
+
+    /** Encoded instruction word at @p pc. */
+    std::uint32_t
+    fetchWord(std::uint64_t pc) const
+    {
+        return words[(pc - base) / 4];
+    }
+
+    /** Pre-decoded instruction at @p pc. */
+    const Inst &
+    fetch(std::uint64_t pc) const
+    {
+        return decoded[(pc - base) / 4];
+    }
+
+    /** Initial data image (copied into the executor at reset). */
+    const MemoryImage &initialData() const { return dataImage; }
+
+  private:
+    std::string progName;
+    std::uint64_t base;
+    std::vector<std::uint32_t> words;
+    std::vector<Inst> decoded;
+    MemoryImage dataImage;
+};
+
+} // namespace mcd
+
+#endif // MCD_ISA_PROGRAM_HH

@@ -1,0 +1,120 @@
+#include "cache.hh"
+
+#include "common/log.hh"
+
+namespace mcd {
+
+namespace {
+
+int
+log2i(std::uint64_t v)
+{
+    int n = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheParams &params)
+    : cfg(params)
+{
+    if (!isPow2(cfg.sizeBytes) || !isPow2(cfg.lineBytes))
+        fatal("cache size and line size must be powers of two");
+    if (cfg.associativity < 1)
+        fatal("cache associativity must be >= 1");
+    std::uint64_t numLines = cfg.sizeBytes / cfg.lineBytes;
+    if (numLines % cfg.associativity != 0)
+        fatal("cache lines not divisible by associativity");
+    sets = static_cast<int>(numLines / cfg.associativity);
+    if (!isPow2(static_cast<std::uint64_t>(sets)))
+        fatal("cache set count must be a power of two");
+    lineShift = log2i(cfg.lineBytes);
+    lines.resize(numLines);
+}
+
+std::uint64_t
+Cache::setIndex(std::uint64_t addr) const
+{
+    return (addr >> lineShift) & (sets - 1);
+}
+
+std::uint64_t
+Cache::tagOf(std::uint64_t addr) const
+{
+    return addr >> lineShift;
+}
+
+bool
+Cache::access(std::uint64_t addr, bool is_write)
+{
+    ++stat.accesses;
+    ++useClock;
+    std::uint64_t set = setIndex(addr);
+    std::uint64_t tag = tagOf(addr);
+    Line *base = &lines[set * cfg.associativity];
+
+    for (int w = 0; w < cfg.associativity; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            ++stat.hits;
+            l.lru = useClock;
+            if (is_write)
+                l.dirty = true;
+            return true;
+        }
+    }
+
+    ++stat.misses;
+    // Choose victim: invalid way first, else least recently used.
+    Line *victim = base;
+    for (int w = 0; w < cfg.associativity; ++w) {
+        Line &l = base[w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (l.lru < victim->lru)
+            victim = &l;
+    }
+    if (victim->valid && victim->dirty)
+        ++stat.writebacks;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lru = useClock;
+    return false;
+}
+
+bool
+Cache::probe(std::uint64_t addr) const
+{
+    std::uint64_t set = setIndex(addr);
+    std::uint64_t tag = tagOf(addr);
+    const Line *base = &lines[set * cfg.associativity];
+    for (int w = 0; w < cfg.associativity; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (Line &l : lines)
+        l = Line();
+    useClock = 0;
+    stat = CacheStats();
+}
+
+} // namespace mcd

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Timing-model caches: set-associative, LRU, write-back/write-allocate.
+ *
+ * The simulator is oracle-driven, so caches track tags only (no data);
+ * hit/miss outcomes and writeback counts feed the timing and power
+ * models. Geometry defaults follow paper Table 1: 64 KB 2-way L1s and
+ * a 1 MB direct-mapped unified L2 with 64-byte lines.
+ */
+
+#ifndef MCD_MEM_CACHE_HH
+#define MCD_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcd {
+
+/** Geometry and naming for one cache. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 64 * 1024;
+    int associativity = 2;
+    int lineBytes = 64;
+    int latencyCycles = 2;  //!< hit latency in its domain's cycles
+};
+
+/** Access outcome counters for one cache. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) / accesses : 0.0;
+    }
+};
+
+/**
+ * A tag-only set-associative cache with true-LRU replacement.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Perform one access.
+     *
+     * @param addr byte address
+     * @param is_write true for stores (marks the line dirty)
+     * @return true on hit
+     */
+    bool access(std::uint64_t addr, bool is_write);
+
+    /** Probe without updating state (test/debug hook). */
+    bool probe(std::uint64_t addr) const;
+
+    /** Invalidate everything (between runs). */
+    void reset();
+
+    const CacheParams &params() const { return cfg; }
+    const CacheStats &stats() const { return stat; }
+    int numSets() const { return sets; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;  //!< larger = more recently used
+    };
+
+    std::uint64_t setIndex(std::uint64_t addr) const;
+    std::uint64_t tagOf(std::uint64_t addr) const;
+
+    CacheParams cfg;
+    int sets;
+    int lineShift;
+    std::vector<Line> lines;    //!< sets * associativity, row-major
+    std::uint64_t useClock = 0;
+    CacheStats stat;
+};
+
+} // namespace mcd
+
+#endif // MCD_MEM_CACHE_HH

@@ -1,0 +1,85 @@
+#include "hierarchy.hh"
+
+namespace mcd {
+
+MemoryHierarchy::MemoryHierarchy(const MemParams &params,
+                                 const ClockDomain &fe_clock,
+                                 const ClockDomain &ls_clock,
+                                 SyncRule sync)
+    : cfg(params), feClock(fe_clock), lsClock(ls_clock), syncRule(sync),
+      icache(params.l1i), dcache(params.l1d), l2cache(params.l2),
+      dramLatency(static_cast<Tick>(params.dramLatencyNs * 1e3))
+{}
+
+Tick
+MemoryHierarchy::l2AndBelow(std::uint64_t addr, bool is_write, Tick start,
+                            MemAccessResult &r)
+{
+    r.l2Accessed = true;
+    Tick t = start +
+        static_cast<Tick>(cfg.l2.latencyCycles * lsClock.period());
+    if (l2cache.access(addr, is_write)) {
+        r.l2Hit = true;
+        return t;
+    }
+    r.dramAccessed = true;
+    Tick lat = dramLatency;
+    if (cfg.dramScalesWithClock) {
+        // Global-scaling configuration: memory latency is a fixed
+        // cycle count of the (single) clock.
+        lat = static_cast<Tick>(cfg.dramLatencyNs * 1e3 *
+                                (1e9 / lsClock.frequency()));
+    }
+    r.dramTime = lat;
+    return t + lat;
+}
+
+MemAccessResult
+MemoryHierarchy::instFetch(std::uint64_t addr, Tick now)
+{
+    // Completion times are encoded half a delivering-clock period
+    // early: "ready at the k-th edge" compares robustly under jitter.
+    MemAccessResult r;
+    Tick t = now + static_cast<Tick>(
+        (cfg.l1i.latencyCycles - 0.5) * feClock.period());
+    if (icache.access(addr, false)) {
+        r.l1Hit = true;
+        r.ready = t;
+        return r;
+    }
+    t = now +
+        static_cast<Tick>(cfg.l1i.latencyCycles * feClock.period());
+    // Miss: request crosses into the load/store domain for the L2 and
+    // the fill crosses back; both crossings pay synchronization.
+    t = syncRule.earliestVisible(t);
+    t = l2AndBelow(addr, false, t, r);
+    t = syncRule.earliestVisible(t);
+    r.ready = t - static_cast<Tick>(0.5 * feClock.period());
+    return r;
+}
+
+MemAccessResult
+MemoryHierarchy::dataAccess(std::uint64_t addr, bool is_write, Tick now)
+{
+    MemAccessResult r;
+    Tick half = static_cast<Tick>(0.5 * lsClock.period());
+    Tick t = now +
+        static_cast<Tick>(cfg.l1d.latencyCycles * lsClock.period());
+    if (dcache.access(addr, is_write)) {
+        r.l1Hit = true;
+        r.ready = t - half;
+        return r;
+    }
+    r.ready = l2AndBelow(addr, is_write, t, r) - half;
+    return r;
+}
+
+void
+MemoryHierarchy::reset()
+{
+    icache.reset();
+    dcache.reset();
+    l2cache.reset();
+}
+
+} // namespace mcd

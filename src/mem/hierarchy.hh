@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The memory hierarchy: L1 I-cache (front-end domain), L1 D-cache and
+ * unified L2 (load/store domain), and the always-full-speed main
+ * memory interface (the paper's external fifth domain).
+ *
+ * Latency is computed on the absolute picosecond axis using the
+ * *current* period of the owning clock domain, so scaling the
+ * load/store domain slows cache service exactly as in the paper, while
+ * DRAM latency stays fixed in wall time. An instruction-cache miss
+ * crosses from the front-end into the load/store domain (and back) and
+ * pays the synchronization time both ways.
+ */
+
+#ifndef MCD_MEM_HIERARCHY_HH
+#define MCD_MEM_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "clock/clock_domain.hh"
+#include "clock/sync.hh"
+#include "mem/cache.hh"
+
+namespace mcd {
+
+/** Hierarchy-wide parameters (Table 1 defaults). */
+struct MemParams
+{
+    CacheParams l1i{"L1I", 64 * 1024, 2, 64, 2};
+    CacheParams l1d{"L1D", 64 * 1024, 2, 64, 2};
+    CacheParams l2{"L2", 1024 * 1024, 1, 64, 12};
+    double dramLatencyNs = 80.0;    //!< main-memory access latency
+
+    /**
+     * In the MCD configurations main memory is the always-full-speed
+     * external fifth domain (fixed wall-clock latency). The *global*
+     * voltage-scaling configuration follows the paper's
+     * SimpleScalar-based setup, where memory latency is expressed in
+     * core cycles and therefore scales with the single clock.
+     */
+    bool dramScalesWithClock = false;
+};
+
+/** Which levels an access touched (for power accounting). */
+struct MemAccessResult
+{
+    Tick ready = 0;     //!< absolute completion time
+    bool l1Hit = false;
+    bool l2Accessed = false;
+    bool l2Hit = false;
+    bool dramAccessed = false;
+    /** Fixed main-memory portion of the latency: does not scale with
+     *  any on-chip clock (the external fifth domain). */
+    Tick dramTime = 0;
+};
+
+/**
+ * Timing façade over the three caches and DRAM.
+ */
+class MemoryHierarchy
+{
+  public:
+    /**
+     * @param params geometry and latencies
+     * @param fe_clock front-end domain clock (drives the L1I)
+     * @param ls_clock load/store domain clock (drives L1D and L2)
+     * @param sync rule applied when an I-miss crosses into the
+     *        load/store domain and back
+     */
+    MemoryHierarchy(const MemParams &params, const ClockDomain &fe_clock,
+                    const ClockDomain &ls_clock, SyncRule sync);
+
+    /** Fetch access beginning at front-end edge time @p now. */
+    MemAccessResult instFetch(std::uint64_t addr, Tick now);
+
+    /** Data access beginning at load/store edge time @p now. */
+    MemAccessResult dataAccess(std::uint64_t addr, bool is_write,
+                               Tick now);
+
+    Cache &l1i() { return icache; }
+    Cache &l1d() { return dcache; }
+    Cache &l2() { return l2cache; }
+    const Cache &l1i() const { return icache; }
+    const Cache &l1d() const { return dcache; }
+    const Cache &l2() const { return l2cache; }
+
+    /** Invalidate all caches (between runs). */
+    void reset();
+
+  private:
+    Tick l2AndBelow(std::uint64_t addr, bool is_write, Tick start,
+                    MemAccessResult &r);
+
+    MemParams cfg;
+    const ClockDomain &feClock;
+    const ClockDomain &lsClock;
+    SyncRule syncRule;
+    Cache icache;
+    Cache dcache;
+    Cache l2cache;
+    Tick dramLatency;
+};
+
+} // namespace mcd
+
+#endif // MCD_MEM_HIERARCHY_HH

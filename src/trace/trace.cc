@@ -1,0 +1,19 @@
+#include "trace.hh"
+
+namespace mcd {
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::Fetch: return "fetch";
+      case EventKind::Dispatch: return "dispatch";
+      case EventKind::AddrCalc: return "addr-calc";
+      case EventKind::MemAccess: return "mem-access";
+      case EventKind::Execute: return "execute";
+      case EventKind::Commit: return "commit";
+    }
+    return "?";
+}
+
+} // namespace mcd

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The primitive-event trace collected during a full-speed profiling
+ * run (paper Section 3.2).
+ *
+ * Each committed instruction yields one compact record carrying the
+ * timestamps of its primitive events (fetch, dispatch, address
+ * calculation, memory access, execute, commit) and the dynamic
+ * sequence numbers of its register-data producers. The offline
+ * analysis tool materializes the paper's dependence DAG from these
+ * records plus the machine configuration (functional dependences
+ * through shared hardware and finite queues are reconstructed there).
+ */
+
+#ifndef MCD_TRACE_TRACE_HH
+#define MCD_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+
+namespace mcd {
+
+/** Primitive event kinds (paper's five-event decomposition). */
+enum class EventKind : std::uint8_t {
+    Fetch = 0,
+    Dispatch,
+    AddrCalc,   //!< memory ops only (integer-domain event)
+    MemAccess,  //!< memory ops only (load/store-domain event)
+    Execute,    //!< non-memory ops
+    Commit,
+};
+
+const char *eventKindName(EventKind k);
+
+/** Trace record for one committed instruction. */
+struct InstTrace
+{
+    std::uint64_t seq = 0;
+    Opcode op = Opcode::NOP;
+    FuClass fu = FuClass::None;
+
+    /** Register-data producers (dynamic seq; 0 = none). */
+    std::uint64_t dep1 = 0;
+    std::uint64_t dep2 = 0;
+
+    /** This instruction was a mispredicted control transfer: fetch of
+     *  everything younger waited for its resolution. */
+    bool mispredicted = false;
+
+    // Event timestamps, absolute picoseconds.
+    Tick fetchTime = 0;
+    Tick dispatchTime = 0;
+    Tick issueTime = 0;     //!< execute/addr-calc start
+    Tick execDone = 0;      //!< execute/addr-calc result ready
+    Tick memIssue = 0;      //!< memory access start (mem ops)
+    Tick memDone = 0;       //!< memory access complete (mem ops)
+    Tick memFixed = 0;      //!< main-memory (unscalable) latency part
+    Tick commitTime = 0;
+
+    bool isMem() const { return mcd::isMem(op); }
+    bool isLoadOp() const { return isLoad(op); }
+    bool isFpOp() const { return isFp(op); }
+
+    /** Domain of the execute / addr-calc event. */
+    Domain
+    execEventDomain() const
+    {
+        // Address calculation happens on the integer AGUs.
+        if (isMem())
+            return Domain::Integer;
+        return execDomain(op);
+    }
+};
+
+/**
+ * Accumulates InstTrace records during a profiling run.
+ */
+class TraceCollector
+{
+  public:
+    void enable(bool on = true) { enabled = on; }
+    bool isEnabled() const { return enabled; }
+
+    void
+    record(const InstTrace &t)
+    {
+        if (enabled)
+            records.push_back(t);
+    }
+
+    const std::vector<InstTrace> &trace() const { return records; }
+    std::size_t size() const { return records.size(); }
+    void clear() { records.clear(); }
+    void reserve(std::size_t n) { records.reserve(n); }
+
+  private:
+    bool enabled = false;
+    std::vector<InstTrace> records;
+};
+
+} // namespace mcd
+
+#endif // MCD_TRACE_TRACE_HH

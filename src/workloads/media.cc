@@ -1,0 +1,360 @@
+/**
+ * @file
+ * MediaBench kernels: adpcm, epic, g721, mesa.
+ */
+
+#include <cmath>
+
+#include "workloads.hh"
+
+#include "isa/builder.hh"
+
+namespace mcd {
+namespace workloads {
+
+namespace {
+
+/** Standard IMA-ADPCM step-size table (89 entries). */
+const int adpcmStepTable[89] = {
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34,
+    37, 41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143,
+    157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494,
+    544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552,
+    1707, 1878, 2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428,
+    4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487,
+    12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086,
+    29794, 32767,
+};
+
+const int adpcmIndexTable[8] = {-1, -1, -1, -1, 2, 4, 6, 8};
+
+} // namespace
+
+Program
+buildAdpcm(int scale)
+{
+    // IMA-ADPCM encode over a synthetic audio buffer. Serial
+    // dependence through the predictor state (valpred/index) keeps ILP
+    // low; branches are data-dependent but mostly well-predicted;
+    // the working set (audio + tables) is L1-resident.
+    Builder b("adpcm");
+
+    constexpr int nSamples = 2048;
+    std::uint64_t audio = b.dataBlock(nSamples);
+    for (int i = 0; i < nSamples; ++i) {
+        double v = 2000.0 * std::sin(i * 0.085) +
+            700.0 * std::sin(i * 0.53 + 1.0);
+        b.setDataWord(audio + 8ull * i,
+                      static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(v)));
+    }
+    std::uint64_t steps = b.dataBlock(89);
+    for (int i = 0; i < 89; ++i) {
+        b.setDataWord(steps + 8ull * i,
+                      static_cast<std::uint64_t>(adpcmStepTable[i]));
+    }
+    std::uint64_t idxTab = b.dataBlock(8);
+    for (int i = 0; i < 8; ++i) {
+        b.setDataWord(idxTab + 8ull * i,
+                      static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(adpcmIndexTable[i])));
+    }
+    std::uint64_t out = b.dataBlock(nSamples);
+
+    const int iters = 2800 * scale;
+
+    b.li(1, 0);                 // i
+    b.li(2, iters);
+    b.li(4, static_cast<std::int64_t>(audio));
+    b.li(5, static_cast<std::int64_t>(steps));
+    b.li(6, static_cast<std::int64_t>(idxTab));
+    b.li(7, static_cast<std::int64_t>(out));
+    b.li(10, 0);                // valpred
+    b.li(11, 0);                // step index
+    b.li(checksumReg, 0);
+
+    Label loop = b.newLabel();
+    Label pos = b.newLabel();
+    Label c1 = b.newLabel();
+    Label c2 = b.newLabel();
+    Label c3 = b.newLabel();
+    Label addv = b.newLabel();
+    Label clamp = b.newLabel();
+    Label skipHi = b.newLabel();
+    Label skipLo = b.newLabel();
+    Label iok1 = b.newLabel();
+    Label iok2 = b.newLabel();
+
+    b.bind(loop);
+    b.andi(18, 1, nSamples - 1);
+    b.slli(18, 18, 3);
+    b.add(18, 4, 18);
+    b.ld(13, 18, 0);            // sample
+    b.sub(14, 13, 10);          // delta = sample - valpred
+    b.addi(15, 0, 0);           // sign = 0
+    b.bge(14, 0, pos);
+    b.sub(14, 0, 14);
+    b.addi(15, 0, 1);
+    b.bind(pos);
+    b.slli(19, 11, 3);
+    b.add(19, 5, 19);
+    b.ld(12, 19, 0);            // step = steps[index]
+    b.addi(16, 0, 0);           // code = 0
+    b.blt(14, 12, c1);
+    b.ori(16, 16, 4);
+    b.sub(14, 14, 12);
+    b.bind(c1);
+    b.srli(20, 12, 1);
+    b.blt(14, 20, c2);
+    b.ori(16, 16, 2);
+    b.sub(14, 14, 20);
+    b.bind(c2);
+    b.srli(20, 12, 2);
+    b.blt(14, 20, c3);
+    b.ori(16, 16, 1);
+    b.bind(c3);
+    b.slli(17, 16, 1);          // vpdiff = ((2*code+1)*step) >> 3
+    b.addi(17, 17, 1);
+    b.mul(17, 17, 12);
+    b.srai(17, 17, 3);
+    b.beq(15, 0, addv);
+    b.sub(10, 10, 17);
+    b.j(clamp);
+    b.bind(addv);
+    b.add(10, 10, 17);
+    b.bind(clamp);
+    b.li(18, 32767);
+    b.blt(10, 18, skipHi);      // usually taken
+    b.mv(10, 18);
+    b.bind(skipHi);
+    b.li(19, -32768);
+    b.bge(10, 19, skipLo);      // usually taken
+    b.mv(10, 19);
+    b.bind(skipLo);
+    b.slli(19, 16, 3);          // index += indexTable[code]
+    b.add(19, 6, 19);
+    b.ld(20, 19, 0);
+    b.add(11, 11, 20);
+    b.bge(11, 0, iok1);
+    b.addi(11, 0, 0);
+    b.bind(iok1);
+    b.li(19, 88);
+    b.bge(19, 11, iok2);
+    b.mv(11, 19);
+    b.bind(iok2);
+    b.andi(18, 1, nSamples - 1);
+    b.slli(18, 18, 3);
+    b.add(18, 7, 18);
+    b.st(16, 18, 0);            // out[i] = code
+    b.xor_(checksumReg, checksumReg, 10);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, loop);
+    b.halt();
+    return b.build();
+}
+
+Program
+buildEpic(int scale)
+{
+    // Image-pyramid style 3x3 weighted filter over a 64x64 image:
+    // nine independent loads per pixel give good ILP; memory access is
+    // sequential; branches are loop-closing and highly predictable.
+    Builder b("epic");
+
+    constexpr int dim = 64;
+    std::uint64_t img = b.dataBlock(dim * dim);
+    for (int i = 0; i < dim * dim; ++i) {
+        std::uint64_t v = static_cast<std::uint64_t>(
+            (i * 2654435761ull) >> 20) & 0xff;
+        b.setDataWord(img + 8ull * i, v);
+    }
+    std::uint64_t out = b.dataBlock(dim * dim);
+
+    const int passes = scale;
+    const int rowBytes = dim * 8;
+
+    b.li(3, 0);                 // pass
+    b.li(4, static_cast<std::int64_t>(img));
+    b.li(5, static_cast<std::int64_t>(out));
+    b.li(6, passes);
+    b.li(checksumReg, 0);
+
+    Label passLoop = b.newLabel();
+    Label rowLoop = b.newLabel();
+    Label colLoop = b.newLabel();
+
+    b.bind(passLoop);
+    b.li(1, 1);                 // row
+    b.bind(rowLoop);
+    b.li(2, 1);                 // col
+    b.bind(colLoop);
+    // addr = img + ((row * dim) + col) * 8
+    b.slli(10, 1, 6);
+    b.add(10, 10, 2);
+    b.slli(10, 10, 3);
+    b.add(10, 4, 10);
+    // 3x3 binomial filter: weights 1 2 1 / 2 4 2 / 1 2 1.
+    b.ld(11, 10, -rowBytes - 8);
+    b.ld(12, 10, -rowBytes);
+    b.ld(13, 10, -rowBytes + 8);
+    b.ld(14, 10, -8);
+    b.ld(15, 10, 0);
+    b.ld(16, 10, 8);
+    b.ld(17, 10, rowBytes - 8);
+    b.ld(18, 10, rowBytes);
+    b.ld(19, 10, rowBytes + 8);
+    b.add(20, 11, 13);          // corners
+    b.add(20, 20, 17);
+    b.add(20, 20, 19);
+    b.add(21, 12, 14);          // edges * 2
+    b.add(21, 21, 16);
+    b.add(21, 21, 18);
+    b.slli(21, 21, 1);
+    b.slli(22, 15, 2);          // center * 4
+    b.add(20, 20, 21);
+    b.add(20, 20, 22);
+    b.srli(20, 20, 4);          // /16
+    // out addr mirrors img addr.
+    b.sub(23, 10, 4);
+    b.add(23, 5, 23);
+    b.st(20, 23, 0);
+    b.xor_(checksumReg, checksumReg, 20);
+    b.addi(2, 2, 1);
+    b.li(24, dim - 1);
+    b.blt(2, 24, colLoop);
+    b.addi(1, 1, 1);
+    b.blt(1, 24, rowLoop);
+    b.addi(3, 3, 1);
+    b.blt(3, 6, passLoop);
+    b.halt();
+    return b.build();
+}
+
+Program
+buildG721(int scale)
+{
+    // G.721-style codec core: a well-balanced integer mix with four
+    // independent dependence chains, small L1-resident tables, few and
+    // highly predictable branches -- the paper's high-IPC benchmark.
+    Builder b("g721");
+
+    constexpr int tabSize = 256;
+    std::uint64_t tab = b.dataBlock(tabSize);
+    for (int i = 0; i < tabSize; ++i) {
+        b.setDataWord(tab + 8ull * i,
+                      static_cast<std::uint64_t>((i * 37 + 11) & 0x3fff));
+    }
+    std::uint64_t out = b.dataBlock(tabSize);
+
+    const int iters = 6200 * scale;
+
+    b.li(1, 0);                 // i
+    b.li(2, iters);
+    b.li(4, static_cast<std::int64_t>(tab));
+    b.li(5, static_cast<std::int64_t>(out));
+    b.li(10, 1);                // chain a
+    b.li(11, 2);                // chain b
+    b.li(12, 3);                // chain c
+    b.li(13, 5);                // chain d
+    b.li(checksumReg, 0);
+
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.andi(14, 1, tabSize - 1);
+    b.slli(14, 14, 3);
+    b.add(15, 4, 14);
+    b.ld(16, 15, 0);            // t = tab[i & 255]
+    // Four independent integer chains (quantizer / predictor update /
+    // scale factor / tone detector analogues).
+    b.add(10, 10, 16);
+    b.srai(17, 10, 3);
+    b.xor_(11, 11, 17);
+    b.slli(18, 11, 2);
+    b.sub(12, 12, 18);
+    b.andi(19, 12, 4095);
+    b.or_(13, 13, 19);
+    b.addi(13, 13, 7);
+    b.srli(20, 13, 5);
+    b.add(21, 20, 16);
+    b.xor_(22, 21, 10);
+    b.add(23, 22, 11);
+    b.st(23, 15, 0);
+    b.xor_(checksumReg, checksumReg, 23);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, loop);
+    b.halt();
+    return b.build();
+}
+
+Program
+buildMesa(int scale)
+{
+    // Mesa software-rasterizer span loop: per-span FP setup (divide)
+    // plus per-pixel FP interpolation and integer pixel packing --
+    // the paper's mixed FP/integer multimedia code.
+    Builder b("mesa");
+
+    constexpr int spanLen = 32;
+    constexpr int fbPixels = 8192;
+    std::uint64_t fb = b.dataBlock(fbPixels);
+    std::uint64_t consts = b.dataBlock(4);
+    b.setDataDouble(consts + 0, 1.0);
+    b.setDataDouble(consts + 8, 0.015625);   // 1/64
+    b.setDataDouble(consts + 16, 255.0);
+    b.setDataDouble(consts + 24, 37.5);
+
+    const int spans = 240 * scale;
+
+    b.li(1, 0);                 // span index
+    b.li(2, spans);
+    b.li(4, static_cast<std::int64_t>(fb));
+    b.li(5, static_cast<std::int64_t>(consts));
+    b.li(checksumReg, 0);
+    b.fld(1, 5, 0);             // f1 = 1.0
+    b.fld(2, 5, 8);             // f2 = 1/64
+    b.fld(3, 5, 16);            // f3 = 255.0
+    b.fld(4, 5, 24);            // f4 = 37.5
+
+    Label spanLoop = b.newLabel();
+    Label pxLoop = b.newLabel();
+
+    b.bind(spanLoop);
+    // Span setup: dz = 37.5 / (span + 64); z = 1.0; r = 0; dr = dz*255.
+    b.addi(10, 1, 64);
+    b.itof(5, 10);
+    b.fdiv(6, 4, 5);            // dz
+    b.fmov(7, 1);               // z = 1.0
+    b.fmul(8, 6, 3);            // dr
+    b.fmov(9, 7);               // r accumulates
+    // Pixel pointer: fb + (span*spanLen % fbPixels)*8.
+    b.slli(11, 1, 5);           // span * 32
+    b.andi(11, 11, fbPixels - 1);
+    b.slli(11, 11, 3);
+    b.add(11, 4, 11);
+    b.li(12, 0);                // px
+
+    b.bind(pxLoop);
+    b.fadd(7, 7, 6);            // z += dz
+    b.fadd(9, 9, 8);            // r += dr
+    b.fmul(10, 7, 9);           // shade = z * r
+    b.fadd(10, 10, 2);
+    b.ftoi(13, 10);             // pack
+    b.andi(13, 13, 255);
+    b.slli(14, 13, 8);
+    b.or_(14, 14, 13);
+    b.slli(15, 14, 16);
+    b.or_(15, 15, 14);
+    b.st(15, 11, 0);
+    b.xor_(checksumReg, checksumReg, 15);
+    b.addi(11, 11, 8);
+    b.addi(12, 12, 1);
+    b.li(16, spanLen);
+    b.blt(12, 16, pxLoop);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, spanLoop);
+    b.halt();
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace mcd

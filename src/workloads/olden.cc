@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Olden kernels: em3d, health, mst, power, treeadd, tsp.
+ */
+
+#include <vector>
+
+#include "workloads.hh"
+
+#include "isa/builder.hh"
+
+namespace mcd {
+namespace workloads {
+
+namespace {
+
+/** Deterministic LCG used to scatter data structures in memory. */
+class Lcg
+{
+  public:
+    explicit Lcg(std::uint64_t seed) : s(seed) {}
+    std::uint64_t
+    next()
+    {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        return s >> 17;
+    }
+
+  private:
+    std::uint64_t s;
+};
+
+/** A pseudo-random permutation of [0, n). */
+std::vector<std::uint32_t>
+permutation(std::uint32_t n, std::uint64_t seed)
+{
+    std::vector<std::uint32_t> p(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        p[i] = i;
+    Lcg r(seed);
+    for (std::uint32_t i = n - 1; i > 0; --i) {
+        std::uint32_t j = r.next() % (i + 1);
+        std::swap(p[i], p[j]);
+    }
+    return p;
+}
+
+} // namespace
+
+Program
+buildEm3d(int scale)
+{
+    // Electromagnetic wave propagation on a bipartite graph (paper
+    // dataset: 4K nodes, arity 10). Each node gathers 10 neighbour
+    // values through index and coefficient arrays; the edge arrays
+    // stream through ~650 KB per pass, so the kernel is memory-bound
+    // with irregular value reads, exactly Olden em3d's profile.
+    Builder b("em3d");
+
+    constexpr int nNodes = 4096;
+    constexpr int arity = 10;
+
+    std::uint64_t values = b.dataBlock(nNodes);
+    std::uint64_t idx = b.dataBlock(nNodes * arity);
+    std::uint64_t coeff = b.dataBlock(nNodes * arity);
+    std::uint64_t zero = b.dataDouble(0.0);
+    std::uint64_t ckscale = b.dataDouble(4096.0);
+
+    Lcg r(0x5eed0001);
+    for (int i = 0; i < nNodes; ++i)
+        b.setDataDouble(values + 8ull * i, 0.5 + (i % 97) * 0.01);
+    for (int e = 0; e < nNodes * arity; ++e) {
+        b.setDataWord(idx + 8ull * e, r.next() % nNodes);
+        b.setDataDouble(coeff + 8ull * e,
+                        0.0625 + (r.next() % 64) * 0.001);
+    }
+
+    const int iters = 1500 * scale;
+
+    b.li(1, 0);
+    b.li(2, iters);
+    b.li(4, static_cast<std::int64_t>(values));
+    b.li(5, static_cast<std::int64_t>(idx));
+    b.li(6, static_cast<std::int64_t>(coeff));
+    b.li(7, static_cast<std::int64_t>(zero));
+    b.li(8, static_cast<std::int64_t>(ckscale));
+    b.li(checksumReg, 0);
+
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.andi(10, 1, nNodes - 1);      // node e
+    // Edge-array offset: e * arity * 8 = e*64 + e*16.
+    b.slli(12, 10, 6);
+    b.slli(13, 10, 4);
+    b.add(12, 12, 13);
+    b.add(13, 5, 12);               // idx ptr
+    b.add(14, 6, 12);               // coeff ptr
+    b.fld(1, 7, 0);                 // acc = 0.0
+    for (int k = 0; k < arity; ++k) {
+        int off = 8 * k;
+        b.ld(15, 13, off);          // neighbour index
+        b.slli(15, 15, 3);
+        b.add(15, 4, 15);
+        b.fld(2, 15, 0);            // neighbour value
+        b.fld(3, 14, off);          // coefficient
+        b.fmul(2, 2, 3);
+        b.fadd(1, 1, 2);
+    }
+    b.slli(16, 10, 3);
+    b.add(16, 4, 16);
+    b.fst(1, 16, 0);                // values[e] = acc
+    b.fld(2, 8, 0);                 // 4096.0 scale for the checksum
+    b.fmul(2, 1, 2);
+    b.ftoi(17, 2);
+    b.xor_(checksumReg, checksumReg, 17);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, loop);
+    b.halt();
+    return b.build();
+}
+
+Program
+buildHealth(int scale)
+{
+    // Columbian health-care simulation: serial traversal of patient
+    // lists whose nodes are scattered through a ~200 KB arena, with
+    // conditional status updates. The load-to-load pointer chase makes
+    // it latency-bound in the load/store domain.
+    Builder b("health");
+
+    constexpr int nNodes = 8192;
+    constexpr int nLists = 16;
+    constexpr int nodesPerList = nNodes / nLists;
+
+    // Node layout: {next, time, status} = 3 words.
+    std::uint64_t arena = b.dataBlock(nNodes * 3);
+    auto nodeAddr = [&](std::uint32_t slot) {
+        return arena + 24ull * slot;
+    };
+    std::vector<std::uint32_t> perm = permutation(nNodes, 0x5eed0002);
+    std::uint64_t heads = b.dataBlock(nLists);
+    for (int l = 0; l < nLists; ++l) {
+        std::uint32_t prev = 0;
+        for (int k = nodesPerList - 1; k >= 0; --k) {
+            std::uint32_t slot = perm[l * nodesPerList + k];
+            std::uint64_t a = nodeAddr(slot);
+            b.setDataWord(a + 0, prev ? nodeAddr(prev - 1) : 0);
+            b.setDataWord(a + 8, (slot * 2654435761ULL) & 0xffff);
+            b.setDataWord(a + 16, 0);
+            prev = slot + 1;
+        }
+        b.setDataWord(heads + 8ull * l, nodeAddr(perm[l * nodesPerList]));
+    }
+
+    const int passes = 2 * scale;
+
+    b.li(1, 0);                 // pass
+    b.li(2, passes);
+    b.li(4, static_cast<std::int64_t>(heads));
+    b.li(checksumReg, 0);
+
+    Label passLoop = b.newLabel();
+    Label listLoop = b.newLabel();
+    Label walk = b.newLabel();
+    Label skip = b.newLabel();
+    Label nextList = b.newLabel();
+
+    b.bind(passLoop);
+    b.li(3, 0);                 // list index
+    b.bind(listLoop);
+    b.slli(10, 3, 3);
+    b.add(10, 4, 10);
+    b.ld(11, 10, 0);            // p = heads[l]
+    b.bind(walk);
+    b.beq(11, 0, nextList);
+    b.ld(12, 11, 8);            // time
+    b.andi(13, 12, 3);
+    b.bne(13, 0, skip);         // ~75% taken
+    b.ld(14, 11, 16);           // status++
+    b.addi(14, 14, 1);
+    b.st(14, 11, 16);
+    b.bind(skip);
+    b.add(checksumReg, checksumReg, 12);
+    b.ld(11, 11, 0);            // p = p->next (serial chase)
+    b.j(walk);
+    b.bind(nextList);
+    b.addi(3, 3, 1);
+    b.li(15, nLists);
+    b.blt(3, 15, listLoop);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, passLoop);
+    b.halt();
+    return b.build();
+}
+
+Program
+buildMst(int scale)
+{
+    // Minimum-spanning-tree core: repeated minimum-weight scans over
+    // adjacency rows. The running-minimum compare branch is
+    // data-dependent (hard to predict early in each row), and row
+    // scans stream a 512 KB weight matrix.
+    Builder b("mst");
+
+    constexpr int nNodes = 256;
+    std::uint64_t weights = b.dataBlock(nNodes * nNodes);
+    Lcg r(0x5eed0003);
+    for (int i = 0; i < nNodes * nNodes; ++i)
+        b.setDataWord(weights + 8ull * i, (r.next() % 100000) + 1);
+
+    const int rows = 72 * scale;
+
+    b.li(1, 0);                 // row counter
+    b.li(2, rows);
+    b.li(4, static_cast<std::int64_t>(weights));
+    b.li(checksumReg, 0);
+
+    Label rowLoop = b.newLabel();
+    Label colLoop = b.newLabel();
+    Label noUpd = b.newLabel();
+
+    b.bind(rowLoop);
+    b.andi(10, 1, nNodes - 1);      // actual row
+    b.slli(10, 10, 11);             // row * 256 * 8
+    b.add(10, 4, 10);
+    b.li(11, 1000000);              // min
+    b.li(12, 0);                    // argmin
+    b.li(3, 0);                     // col
+    b.bind(colLoop);
+    b.slli(13, 3, 3);
+    b.add(13, 10, 13);
+    b.ld(14, 13, 0);
+    b.bge(14, 11, noUpd);           // data-dependent
+    b.mv(11, 14);
+    b.mv(12, 3);
+    b.bind(noUpd);
+    b.addi(3, 3, 1);
+    b.li(15, nNodes);
+    b.blt(3, 15, colLoop);
+    b.xor_(checksumReg, checksumReg, 11);
+    b.add(checksumReg, checksumReg, 12);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, rowLoop);
+    b.halt();
+    return b.build();
+}
+
+Program
+buildPower(int scale)
+{
+    // Power-system optimization: compute-bound FP over a tiny working
+    // set; long dependence chains through multiplies and (unpipelined)
+    // divides keep the FP domain at high utilization.
+    Builder b("power");
+
+    std::uint64_t consts = b.dataBlock(8);
+    b.setDataDouble(consts + 0, 1.000001);
+    b.setDataDouble(consts + 8, 0.999999);
+    b.setDataDouble(consts + 16, 3.14159);
+    b.setDataDouble(consts + 24, 1.0);
+    std::uint64_t leaves = b.dataBlock(1024);
+    for (int i = 0; i < 1024; ++i)
+        b.setDataDouble(leaves + 8ull * i, 1.0 + (i % 31) * 0.03);
+
+    const int iters = 7500 * scale;
+
+    b.li(1, 0);
+    b.li(2, iters);
+    b.li(4, static_cast<std::int64_t>(consts));
+    b.li(5, static_cast<std::int64_t>(leaves));
+    b.li(checksumReg, 0);
+    b.fld(1, 4, 0);             // c1
+    b.fld(2, 4, 8);             // c2
+    b.fld(3, 4, 16);            // pi
+    b.fld(4, 4, 24);            // one
+
+    Label loop = b.newLabel();
+    b.bind(loop);
+    b.andi(10, 1, 1023);
+    b.slli(10, 10, 3);
+    b.add(10, 5, 10);
+    b.fld(5, 10, 0);            // leaf demand
+    // Root/branch admittance chain: mul/add/div ladder.
+    b.fmul(6, 5, 1);
+    b.fadd(6, 6, 4);
+    b.fdiv(7, 3, 6);            // unpipelined divide
+    b.fmul(7, 7, 2);
+    b.fadd(8, 7, 5);
+    b.fmul(8, 8, 8);
+    b.fsqrt(9, 8);
+    b.fadd(5, 9, 7);
+    b.fst(5, 10, 0);
+    b.ftoi(11, 5);
+    b.add(checksumReg, checksumReg, 11);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, loop);
+    b.halt();
+    return b.build();
+}
+
+Program
+buildTreeadd(int scale)
+{
+    // Recursive binary-tree sum (paper dataset: 20 levels; we build a
+    // 13-level tree). Nodes are scattered by a permutation so child
+    // pointers chase through ~250 KB; the call/return pattern stresses
+    // control flow (no return-address stack is modeled).
+    Builder b("treeadd");
+
+    constexpr int levels = 13;
+    constexpr std::uint32_t nNodes = (1u << levels) - 1;
+
+    // Node layout: {left, right, value} = 3 words.
+    std::uint64_t arena = b.dataBlock(nNodes * 3);
+    std::vector<std::uint32_t> perm = permutation(nNodes, 0x5eed0004);
+    auto nodeAddr = [&](std::uint32_t heap_index) {
+        return arena + 24ull * perm[heap_index];
+    };
+    for (std::uint32_t i = 0; i < nNodes; ++i) {
+        std::uint64_t a = nodeAddr(i);
+        std::uint32_t l = 2 * i + 1;
+        std::uint32_t rr = 2 * i + 2;
+        b.setDataWord(a + 0, l < nNodes ? nodeAddr(l) : 0);
+        b.setDataWord(a + 8, rr < nNodes ? nodeAddr(rr) : 0);
+        b.setDataWord(a + 16, i + 1);
+    }
+
+    const int passes = scale;
+
+    Label treeadd = b.newLabel();
+    Label leafZero = b.newLabel();
+    Label mainStart = b.newLabel();
+
+    b.j(mainStart);
+
+    // uint64 treeadd(node* r10) -> r11
+    b.bind(treeadd);
+    b.beq(10, 0, leafZero);
+    b.addi(reg::sp, reg::sp, -24);
+    b.st(reg::ra, reg::sp, 0);
+    b.st(10, reg::sp, 8);
+    b.ld(10, 10, 0);            // left
+    b.jal(reg::ra, treeadd);
+    b.ld(12, reg::sp, 8);
+    b.st(11, reg::sp, 16);      // left sum
+    b.ld(10, 12, 8);            // right
+    b.jal(reg::ra, treeadd);
+    b.ld(12, reg::sp, 8);
+    b.ld(13, reg::sp, 16);
+    b.add(11, 11, 13);
+    b.ld(14, 12, 16);           // value
+    b.add(11, 11, 14);
+    b.ld(reg::ra, reg::sp, 0);
+    b.addi(reg::sp, reg::sp, 24);
+    b.ret();
+    b.bind(leafZero);
+    b.li(11, 0);
+    b.ret();
+
+    b.bind(mainStart);
+    b.li(1, 0);
+    b.li(2, passes);
+    b.li(checksumReg, 0);
+    Label passLoop = b.newLabel();
+    b.bind(passLoop);
+    b.li(10, static_cast<std::int64_t>(nodeAddr(0)));
+    b.jal(reg::ra, treeadd);
+    b.add(checksumReg, checksumReg, 11);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, passLoop);
+    b.halt();
+    return b.build();
+}
+
+Program
+buildTsp(int scale)
+{
+    // Traveling-salesman nearest-neighbour core: FP distance
+    // evaluations (sub/mul/add) with a data-dependent running-minimum
+    // branch over a city coordinate array.
+    Builder b("tsp");
+
+    constexpr int nCities = 96;
+    std::uint64_t xs = b.dataBlock(nCities);
+    std::uint64_t ys = b.dataBlock(nCities);
+    std::uint64_t big = b.dataDouble(1e30);
+    Lcg r(0x5eed0005);
+    for (int i = 0; i < nCities; ++i) {
+        b.setDataDouble(xs + 8ull * i, (r.next() % 10000) * 0.001);
+        b.setDataDouble(ys + 8ull * i, (r.next() % 10000) * 0.001);
+    }
+
+    const int tours = scale;
+
+    b.li(1, 0);                 // tour
+    b.li(2, tours);
+    b.li(4, static_cast<std::int64_t>(xs));
+    b.li(5, static_cast<std::int64_t>(ys));
+    b.li(6, static_cast<std::int64_t>(big));
+    b.li(checksumReg, 0);
+
+    Label tourLoop = b.newLabel();
+    Label fromLoop = b.newLabel();
+    Label candLoop = b.newLabel();
+    Label noUpd = b.newLabel();
+
+    b.bind(tourLoop);
+    b.li(3, 0);                 // from city
+    b.bind(fromLoop);
+    b.slli(10, 3, 3);
+    b.add(11, 4, 10);
+    b.fld(1, 11, 0);            // curx
+    b.add(11, 5, 10);
+    b.fld(2, 11, 0);            // cury
+    b.fld(3, 6, 0);             // best = 1e30
+    b.li(12, 0);                // argbest
+    b.li(13, 0);                // candidate
+    b.bind(candLoop);
+    b.slli(14, 13, 3);
+    b.add(15, 4, 14);
+    b.fld(4, 15, 0);            // cx
+    b.add(15, 5, 14);
+    b.fld(5, 15, 0);            // cy
+    b.fsub(4, 4, 1);
+    b.fsub(5, 5, 2);
+    b.fmul(4, 4, 4);
+    b.fmul(5, 5, 5);
+    b.fadd(4, 4, 5);            // d2
+    b.fclt(16, 4, 3);
+    b.beq(16, 0, noUpd);        // data-dependent
+    b.beq(13, 3, noUpd);        // skip self
+    b.fmov(3, 4);
+    b.mv(12, 13);
+    b.bind(noUpd);
+    b.addi(13, 13, 1);
+    b.li(17, nCities);
+    b.blt(13, 17, candLoop);
+    b.xor_(checksumReg, checksumReg, 12);
+    b.addi(3, 3, 1);
+    b.blt(3, 17, fromLoop);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, tourLoop);
+    b.halt();
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace mcd

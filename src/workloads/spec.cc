@@ -1,0 +1,458 @@
+/**
+ * @file
+ * SPEC2000 kernels: bzip2, gcc, mcf, parser (integer); art, swim (FP).
+ */
+
+#include <vector>
+
+#include "workloads.hh"
+
+#include "isa/builder.hh"
+
+namespace mcd {
+namespace workloads {
+
+namespace {
+
+class Lcg
+{
+  public:
+    explicit Lcg(std::uint64_t seed) : s(seed) {}
+    std::uint64_t
+    next()
+    {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        return s >> 17;
+    }
+
+  private:
+    std::uint64_t s;
+};
+
+} // namespace
+
+Program
+buildBzip2(int scale)
+{
+    // Block-sorting compression core: odd/even transposition passes
+    // over a 64 KB block with data-dependent compare-and-swap
+    // branches -- the classic high-mispredict integer profile.
+    Builder b("bzip2");
+
+    constexpr int nElems = 8192;
+    std::uint64_t block = b.dataBlock(nElems);
+    Lcg r(0x5eed0011);
+    for (int i = 0; i < nElems; ++i)
+        b.setDataWord(block + 8ull * i, r.next() & 0xffffff);
+
+    const int passes = 3 * scale;
+
+    b.li(1, 0);                 // pass
+    b.li(2, passes);
+    b.li(4, static_cast<std::int64_t>(block));
+    b.li(checksumReg, 0);
+
+    Label passLoop = b.newLabel();
+    Label elemLoop = b.newLabel();
+    Label noSwap = b.newLabel();
+
+    b.bind(passLoop);
+    b.andi(10, 1, 1);           // odd/even offset
+    b.bind(elemLoop);
+    b.slli(11, 10, 3);
+    b.add(11, 4, 11);
+    b.ld(12, 11, 0);
+    b.ld(13, 11, 8);
+    b.bge(13, 12, noSwap);      // ~50% on random data
+    b.st(13, 11, 0);
+    b.st(12, 11, 8);
+    b.xor_(checksumReg, checksumReg, 12);
+    b.bind(noSwap);
+    b.addi(10, 10, 2);
+    b.li(14, nElems - 1);
+    b.blt(10, 14, elemLoop);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, passLoop);
+    b.halt();
+    return b.build();
+}
+
+Program
+buildGcc(int scale)
+{
+    // Compiler-style irregular integer code: a hot L1-resident symbol
+    // table mixed with cold probes into a 2 MB table (about 1 load in
+    // 8 goes cold), giving the paper's high (~12.5%) L1D miss rate,
+    // plus partially biased data-dependent branches.
+    Builder b("gcc");
+
+    constexpr int hotWords = 1024;          // 8 KB
+    constexpr int coldWords = 262144;       // 2 MB
+    std::uint64_t hot = b.dataBlock(hotWords);
+    std::uint64_t cold = b.dataBlock(coldWords);
+    Lcg r(0x5eed0012);
+    for (int i = 0; i < hotWords; ++i)
+        b.setDataWord(hot + 8ull * i, r.next());
+    // The cold table reads as zero-filled (sparse memory): initialize
+    // a scattering of entries so values vary.
+    for (int i = 0; i < 32768; ++i) {
+        std::uint64_t w = r.next() % coldWords;
+        b.setDataWord(cold + 8ull * w, r.next());
+    }
+
+    const int iters = 7200 * scale;
+
+    b.li(1, 0);
+    b.li(2, iters);
+    b.li(4, static_cast<std::int64_t>(hot));
+    b.li(5, static_cast<std::int64_t>(cold));
+    b.li(10, 0x9e3779b9);       // LCG state
+    b.li(11, 2654435761);       // multiplier
+    b.li(checksumReg, 0);
+
+    Label loop = b.newLabel();
+    Label hotPath = b.newLabel();
+    Label merge = b.newLabel();
+    Label biased = b.newLabel();
+    Label store = b.newLabel();
+    Label noStore = b.newLabel();
+
+    b.bind(loop);
+    b.mul(10, 10, 11);          // advance LCG
+    b.addi(10, 10, 12345);
+    b.srli(12, 10, 13);
+    b.andi(13, 1, 7);
+    b.bne(13, 0, hotPath);      // 7/8 taken -> hot
+    // Cold probe into the 2 MB table (nearly always an L1D miss).
+    b.andi(15, 12, 255);
+    b.slli(15, 15, 8);
+    b.xor_(14, 12, 15);
+    b.slli(14, 14, 3);
+    b.li(16, (coldWords - 1) * 8);
+    b.and_(14, 14, 16);
+    b.add(14, 5, 14);
+    b.ld(17, 14, 0);
+    b.j(merge);
+    b.bind(hotPath);
+    b.andi(14, 12, hotWords - 1);
+    b.slli(14, 14, 3);
+    b.add(14, 4, 14);
+    b.ld(17, 14, 0);
+    b.bind(merge);
+    // Decision tree on the loaded value: one biased branch (~75%
+    // taken) and one close to 50/50.
+    b.andi(18, 17, 63);
+    b.li(19, 16);
+    b.bge(18, 19, biased);      // ~75% taken
+    b.add(checksumReg, checksumReg, 18);
+    b.bind(biased);
+    b.andi(20, 17, 1);
+    b.bne(20, 0, noStore);      // ~50/50
+    b.addi(17, 17, 1);
+    b.st(17, 14, 0);
+    b.j(store);
+    b.bind(noStore);
+    b.xor_(checksumReg, checksumReg, 17);
+    b.bind(store);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, loop);
+    b.halt();
+    return b.build();
+}
+
+Program
+buildMcf(int scale)
+{
+    // Network-simplex core: a serial pointer chase over a 2 MB arc
+    // array (twice the L2), with a cost accumulation per arc. Most
+    // iterations miss in both L1D and L2 -- the paper's most
+    // memory-bound integer code.
+    Builder b("mcf");
+
+    constexpr int nArcs = 131072;   // 2 words each = 2 MB
+    // Arc layout: {nextIndex, cost}.
+    std::uint64_t arcs = b.dataBlock(nArcs * 2);
+    // A single random cycle through all arcs.
+    std::vector<std::uint32_t> order(nArcs);
+    for (std::uint32_t i = 0; i < nArcs; ++i)
+        order[i] = i;
+    Lcg r(0x5eed0013);
+    for (std::uint32_t i = nArcs - 1; i > 0; --i) {
+        std::uint32_t j = r.next() % (i + 1);
+        std::swap(order[i], order[j]);
+    }
+    for (std::uint32_t i = 0; i < nArcs; ++i) {
+        std::uint32_t cur = order[i];
+        std::uint32_t nxt = order[(i + 1) % nArcs];
+        b.setDataWord(arcs + 16ull * cur, nxt);
+        b.setDataWord(arcs + 16ull * cur + 8, (cur * 131) & 0xfff);
+    }
+
+    const int iters = 15000 * scale;
+
+    b.li(1, 0);
+    b.li(2, iters);
+    b.li(4, static_cast<std::int64_t>(arcs));
+    b.li(10, 0);                // current arc index
+    b.li(checksumReg, 0);
+
+    Label loop = b.newLabel();
+    Label cheap = b.newLabel();
+
+    b.bind(loop);
+    b.slli(11, 10, 4);          // arc * 16 bytes
+    b.add(11, 4, 11);
+    b.ld(12, 11, 8);            // cost
+    b.ld(10, 11, 0);            // next (serial chase)
+    b.li(13, 2048);
+    b.blt(12, 13, cheap);       // ~50/50
+    b.add(checksumReg, checksumReg, 12);
+    b.bind(cheap);
+    b.xor_(checksumReg, checksumReg, 10);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, loop);
+    b.halt();
+    return b.build();
+}
+
+Program
+buildParser(int scale)
+{
+    // Link-grammar dictionary lookups: hash computation, a probe into
+    // a 512 KB bucket table, then a short chain walk with compare
+    // branches -- moderately memory-bound, branchy integer code.
+    Builder b("parser");
+
+    constexpr int nBuckets = 65536;     // 512 KB
+    constexpr int chainWords = 16384;
+    // Bucket: head index into chain area (or 0).
+    std::uint64_t buckets = b.dataBlock(nBuckets);
+    // Chain node: {key, next} pairs.
+    std::uint64_t chain = b.dataBlock(chainWords * 2);
+    Lcg r(0x5eed0014);
+    std::uint32_t nextFree = 1;
+    for (int i = 0; i < 12000 && nextFree < chainWords - 4; ++i) {
+        std::uint64_t h = r.next() % nBuckets;
+        std::uint64_t key = r.next();
+        std::uint64_t head = 0;
+        // Push-front into the bucket.
+        head = nextFree++;
+        std::uint64_t prior = 0;
+        // Read existing head (emulate by tracking in a host map would
+        // be heavy; chains stay length 1-2 by bucket count >> inserts).
+        (void)prior;
+        b.setDataWord(chain + 16ull * head, key);
+        b.setDataWord(chain + 16ull * head + 8, 0);
+        b.setDataWord(buckets + 8ull * h, head);
+    }
+
+    const int iters = 9000 * scale;
+
+    b.li(1, 0);
+    b.li(2, iters);
+    b.li(4, static_cast<std::int64_t>(buckets));
+    b.li(5, static_cast<std::int64_t>(chain));
+    b.li(10, 0x12345);          // word stream state
+    b.li(checksumReg, 0);
+
+    Label loop = b.newLabel();
+    Label walk = b.newLabel();
+    Label found = b.newLabel();
+    Label next = b.newLabel();
+    Label done = b.newLabel();
+
+    b.bind(loop);
+    // Hash of the next "word": three rounds of mul/xor/shift.
+    b.li(11, 40503);
+    b.mul(10, 10, 11);
+    b.addi(10, 10, 77);
+    b.srli(12, 10, 7);
+    b.xor_(12, 12, 10);
+    b.andi(13, 12, nBuckets - 1);
+    b.slli(13, 13, 3);
+    b.add(13, 4, 13);
+    b.ld(14, 13, 0);            // head index
+    b.bind(walk);
+    b.beq(14, 0, done);         // empty bucket (common)
+    b.slli(15, 14, 4);
+    b.add(15, 5, 15);
+    b.ld(16, 15, 0);            // key
+    b.beq(16, 12, found);       // rare
+    b.ld(14, 15, 8);            // next
+    b.j(walk);
+    b.bind(found);
+    b.addi(checksumReg, checksumReg, 1);
+    b.bind(next);
+    b.bind(done);
+    b.xor_(checksumReg, checksumReg, 12);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, loop);
+    b.halt();
+    return b.build();
+}
+
+Program
+buildArt(int scale)
+{
+    // Adaptive-resonance neural net: alternating program phases. The
+    // F1 "train" phase streams FP multiply-accumulate over 512 KB of
+    // weights (FP + load/store bound, integer domain mostly idle); the
+    // "match" phase is an integer scan with compares (FP idle). The
+    // phase alternation is what gives the offline tool its Figure 8
+    // reconfiguration opportunities.
+    Builder b("art");
+
+    constexpr int nWeights = 32768;     // 256 KB per array
+    std::uint64_t w1 = b.dataBlock(nWeights);
+    std::uint64_t w2 = b.dataBlock(nWeights);
+    std::uint64_t match = b.dataBlock(nWeights);
+    for (int i = 0; i < nWeights; ++i) {
+        b.setDataDouble(w1 + 8ull * i, 0.001 * (i % 997));
+        b.setDataDouble(w2 + 8ull * i, 0.5 + 0.0001 * (i % 89));
+        b.setDataWord(match + 8ull * i, (i * 2654435761ULL) & 0xffff);
+    }
+    std::uint64_t decay = b.dataDouble(0.9995);
+
+    const int phases = scale;           // train+match pairs
+    constexpr int trainElems = 5000;
+    constexpr int matchElems = 7000;
+
+    b.li(1, 0);                 // phase pair
+    b.li(2, phases);
+    b.li(4, static_cast<std::int64_t>(w1));
+    b.li(5, static_cast<std::int64_t>(w2));
+    b.li(6, static_cast<std::int64_t>(match));
+    b.li(7, static_cast<std::int64_t>(decay));
+    b.li(checksumReg, 0);
+
+    Label phaseLoop = b.newLabel();
+    Label trainLoop = b.newLabel();
+    Label matchLoop = b.newLabel();
+    Label noHit = b.newLabel();
+
+    b.bind(phaseLoop);
+    b.fld(1, 7, 0);             // decay
+    b.li(10, 0);                // k
+    b.li(11, trainElems);
+    b.bind(trainLoop);
+    b.andi(12, 10, nWeights - 1);
+    b.slli(12, 12, 3);
+    b.add(13, 4, 12);
+    b.add(14, 5, 12);
+    b.fld(2, 13, 0);            // w1[k]
+    b.fld(3, 14, 0);            // w2[k]
+    b.fmul(2, 2, 1);            // w1 *= decay
+    b.fmul(4, 2, 3);            // act = w1*w2
+    b.fadd(2, 2, 4);
+    b.fst(2, 13, 0);
+    b.addi(10, 10, 1);
+    b.blt(10, 11, trainLoop);
+
+    b.li(10, 0);                // k
+    b.li(11, matchElems);
+    b.li(15, 0x8000);
+    b.bind(matchLoop);
+    b.andi(12, 10, nWeights - 1);
+    b.slli(12, 12, 3);
+    b.add(13, 6, 12);
+    b.ld(14, 13, 0);
+    b.blt(14, 15, noHit);       // ~50/50
+    b.addi(checksumReg, checksumReg, 1);
+    b.bind(noHit);
+    b.xor_(checksumReg, checksumReg, 14);
+    b.addi(10, 10, 1);
+    b.blt(10, 11, matchLoop);
+
+    b.addi(1, 1, 1);
+    b.blt(1, 2, phaseLoop);
+    b.halt();
+    return b.build();
+}
+
+Program
+buildSwim(int scale)
+{
+    // Shallow-water stencil: five-point FP stencil streamed over
+    // ~200 KB grids. High FP utilization, perfectly predictable
+    // branches, streaming L1 misses serviced by the L2 -- the
+    // benchmark the paper notes cannot be scaled much.
+    Builder b("swim");
+
+    constexpr int dim = 80;
+    std::uint64_t p = b.dataBlock(dim * dim);
+    std::uint64_t u = b.dataBlock(dim * dim);
+    std::uint64_t unew = b.dataBlock(dim * dim);
+    for (int i = 0; i < dim * dim; ++i) {
+        b.setDataDouble(p + 8ull * i, 0.01 * (i % 53));
+        b.setDataDouble(u + 8ull * i, 0.02 * (i % 31));
+    }
+    std::uint64_t c1 = b.dataDouble(0.25);
+    std::uint64_t c2 = b.dataDouble(0.97);
+    std::uint64_t cks = b.dataDouble(1048576.0);
+
+    const int steps = scale;
+    const int rowBytes = dim * 8;
+
+    b.li(1, 0);                 // timestep
+    b.li(2, steps);
+    b.li(4, static_cast<std::int64_t>(p));
+    b.li(5, static_cast<std::int64_t>(u));
+    b.li(6, static_cast<std::int64_t>(unew));
+    b.li(7, static_cast<std::int64_t>(c1));
+    b.fld(8, 7, 0);             // 0.25
+    b.li(7, static_cast<std::int64_t>(c2));
+    b.fld(9, 7, 0);             // 0.97
+    b.li(7, static_cast<std::int64_t>(cks));
+    b.fld(10, 7, 0);            // checksum scale
+    b.li(checksumReg, 0);
+
+    Label stepLoop = b.newLabel();
+    Label rowLoop = b.newLabel();
+    Label colLoop = b.newLabel();
+
+    b.bind(stepLoop);
+    b.li(10, 1);                // row
+    b.bind(rowLoop);
+    b.li(11, 1);                // col
+    b.bind(colLoop);
+    // idx = (row*dim + col)*8; dim=80: row*80 = row*64 + row*16
+    b.slli(13, 10, 6);
+    b.slli(14, 10, 4);
+    b.add(13, 13, 14);
+    b.add(13, 13, 11);
+    b.slli(13, 13, 3);
+    b.add(14, 4, 13);           // &p[idx]
+    b.fld(1, 14, -rowBytes);
+    b.fld(2, 14, rowBytes);
+    b.fld(3, 14, -8);
+    b.fld(4, 14, 8);
+    b.fadd(1, 1, 2);
+    b.fadd(3, 3, 4);
+    b.fadd(1, 1, 3);
+    b.fmul(1, 1, 8);            // laplacian * 0.25
+    b.add(15, 5, 13);           // &u[idx]
+    b.fld(5, 15, 0);
+    b.fmul(5, 5, 9);
+    b.fadd(5, 5, 1);
+    b.add(16, 6, 13);           // &unew[idx]
+    b.fst(5, 16, 0);
+    b.addi(11, 11, 1);
+    b.li(17, dim - 1);
+    b.blt(11, 17, colLoop);
+    b.addi(10, 10, 1);
+    b.blt(10, 17, rowLoop);
+    // Swap u and unew (pointer swap) and fold a checksum.
+    b.mv(18, 5);
+    b.mv(5, 6);
+    b.mv(6, 18);
+    b.fmul(11, 5, 10);
+    b.ftoi(19, 11);
+    b.xor_(checksumReg, checksumReg, 19);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, stepLoop);
+    b.halt();
+    return b.build();
+}
+
+} // namespace workloads
+} // namespace mcd

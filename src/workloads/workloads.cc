@@ -1,0 +1,54 @@
+#include "workloads.hh"
+
+#include "common/log.hh"
+
+namespace mcd {
+namespace workloads {
+
+const std::vector<WorkloadInfo> &
+all()
+{
+    static const std::vector<WorkloadInfo> table = {
+        {"adpcm", "MediaBench", "ref", "entire program", buildAdpcm},
+        {"epic", "MediaBench", "ref", "entire program", buildEpic},
+        {"g721", "MediaBench", "ref", "0-200M", buildG721},
+        {"mesa", "MediaBench", "ref", "entire program", buildMesa},
+        {"em3d", "Olden", "4K nodes, arity 10", "70M-119M", buildEm3d},
+        {"health", "Olden", "4 levels, 1K iters", "80M-127M",
+         buildHealth},
+        {"mst", "Olden", "1K nodes", "entire program", buildMst},
+        {"power", "Olden", "ref", "0-199M", buildPower},
+        {"treeadd", "Olden", "20 levels, 1 iter", "0-200M",
+         buildTreeadd},
+        {"tsp", "Olden", "ref", "0-189M", buildTsp},
+        {"bzip2", "SPEC 2000 Int", "input.source", "1000M-1100M",
+         buildBzip2},
+        {"gcc", "SPEC 2000 Int", "166.i", "1000M-1100M", buildGcc},
+        {"mcf", "SPEC 2000 Int", "ref", "1000M-1100M", buildMcf},
+        {"parser", "SPEC 2000 Int", "ref", "1000M-1100M", buildParser},
+        {"art", "SPEC 2000 FP", "ref", "300M-400M", buildArt},
+        {"swim", "SPEC 2000 FP", "ref", "1000M-1100M", buildSwim},
+    };
+    return table;
+}
+
+const WorkloadInfo &
+get(const std::string &name)
+{
+    for (const WorkloadInfo &w : all()) {
+        if (name == w.name)
+            return w;
+    }
+    fatal("unknown workload: " + name);
+}
+
+Program
+build(const std::string &name, int scale)
+{
+    if (scale < 1)
+        fatal("workload scale must be >= 1");
+    return get(name).build(scale);
+}
+
+} // namespace workloads
+} // namespace mcd

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The benchmark suite: the paper's 16 applications (Table 2)
+ * re-implemented as mini-ISA kernels.
+ *
+ * We cannot execute the original Alpha binaries, so each benchmark is
+ * a kernel reproducing the documented characteristics that drive the
+ * paper's results — instruction mix, dependence structure, working-set
+ * size and locality, branch predictability, and phase behaviour (see
+ * DESIGN.md section 4, substitution 1). Every kernel ends with HALT
+ * and leaves a checksum in integer register 29 so functional runs are
+ * self-checking and deterministic.
+ *
+ * @p scale multiplies the amount of work (iterations, not data-set
+ * size); scale 1 commits roughly 100-250K instructions.
+ */
+
+#ifndef MCD_WORKLOADS_WORKLOADS_HH
+#define MCD_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace mcd {
+
+/** Register in which every kernel leaves its checksum. */
+inline constexpr int checksumReg = 29;
+
+/** Static description of one benchmark (Table 2 row). */
+struct WorkloadInfo
+{
+    const char *name;
+    const char *suite;
+    const char *dataset;    //!< paper's dataset
+    const char *window;     //!< paper's simulation window
+    Program (*build)(int scale);
+};
+
+namespace workloads {
+
+/** All 16 benchmarks in paper (Table 2) order. */
+const std::vector<WorkloadInfo> &all();
+
+/** Look up one benchmark by name; throws FatalError if unknown. */
+const WorkloadInfo &get(const std::string &name);
+
+/** Build a benchmark program. */
+Program build(const std::string &name, int scale = 1);
+
+/** @name Individual kernel builders
+ *  @{
+ */
+Program buildAdpcm(int scale);
+Program buildEpic(int scale);
+Program buildG721(int scale);
+Program buildMesa(int scale);
+Program buildEm3d(int scale);
+Program buildHealth(int scale);
+Program buildMst(int scale);
+Program buildPower(int scale);
+Program buildTreeadd(int scale);
+Program buildTsp(int scale);
+Program buildBzip2(int scale);
+Program buildGcc(int scale);
+Program buildMcf(int scale);
+Program buildParser(int scale);
+Program buildArt(int scale);
+Program buildSwim(int scale);
+/** @} */
+
+} // namespace workloads
+} // namespace mcd
+
+#endif // MCD_WORKLOADS_WORKLOADS_HH

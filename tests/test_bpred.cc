@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the combining branch predictor and BTB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/bpred.hh"
+
+namespace mcd {
+namespace {
+
+BpredParams
+defaults()
+{
+    return BpredParams();
+}
+
+TEST(Bpred, Table1Defaults)
+{
+    BpredParams p;
+    EXPECT_EQ(p.bimodalSize, 1024);
+    EXPECT_EQ(p.l1Size, 1024);
+    EXPECT_EQ(p.historyBits, 10);
+    EXPECT_EQ(p.l2Size, 1024);
+    EXPECT_EQ(p.chooserSize, 4096);
+    EXPECT_EQ(p.btbSets, 4096);
+    EXPECT_EQ(p.btbAssoc, 2);
+}
+
+TEST(Bpred, LearnsAlwaysTaken)
+{
+    BranchPredictor bp(defaults());
+    std::uint64_t pc = 0x1000;
+    for (int i = 0; i < 8; ++i) {
+        BpredLookup l = bp.predictBranch(pc);
+        bp.update(pc, true, 0x2000, l.taken, true);
+    }
+    BpredLookup l = bp.predictBranch(pc);
+    EXPECT_TRUE(l.taken);
+    EXPECT_TRUE(l.btbHit);
+    EXPECT_EQ(l.target, 0x2000u);
+}
+
+TEST(Bpred, LearnsAlwaysNotTaken)
+{
+    BranchPredictor bp(defaults());
+    std::uint64_t pc = 0x1004;
+    for (int i = 0; i < 8; ++i) {
+        BpredLookup l = bp.predictBranch(pc);
+        bp.update(pc, false, 0, l.taken, true);
+    }
+    EXPECT_FALSE(bp.predictBranch(pc).taken);
+}
+
+TEST(Bpred, PagLearnsAlternatingPattern)
+{
+    // A strict T/N/T/N pattern defeats bimodal but is trivial for the
+    // 10-bit-history PAg component; the chooser should migrate.
+    BranchPredictor bp(defaults());
+    std::uint64_t pc = 0x2000;
+    bool taken = false;
+    int correct = 0;
+    const int warmup = 120, probe = 200;
+    for (int i = 0; i < warmup + probe; ++i) {
+        taken = !taken;
+        BpredLookup l = bp.predictBranch(pc);
+        if (i >= warmup && l.taken == taken)
+            ++correct;
+        bp.update(pc, taken, 0x3000, l.taken, true);
+    }
+    EXPECT_GT(correct, probe * 9 / 10);
+}
+
+TEST(Bpred, PagLearnsShortLoopPattern)
+{
+    // Loop closing branch: taken 7 times, not taken once (period 8).
+    BranchPredictor bp(defaults());
+    std::uint64_t pc = 0x2100;
+    int correct = 0;
+    const int warmup = 400, probe = 400;
+    for (int i = 0; i < warmup + probe; ++i) {
+        bool taken = (i % 8) != 7;
+        BpredLookup l = bp.predictBranch(pc);
+        if (i >= warmup && l.taken == taken)
+            ++correct;
+        bp.update(pc, taken, 0x2200, l.taken, true);
+    }
+    EXPECT_GT(correct, probe * 9 / 10);
+}
+
+TEST(Bpred, MispredictRateTracked)
+{
+    BranchPredictor bp(defaults());
+    std::uint64_t pc = 0x3000;
+    for (int i = 0; i < 100; ++i) {
+        BpredLookup l = bp.predictBranch(pc);
+        bp.update(pc, true, 0x100, l.taken, true);
+    }
+    EXPECT_EQ(bp.stats().condBranches, 100u);
+    EXPECT_LT(bp.stats().mispredictRate(), 0.1);
+    EXPECT_EQ(bp.stats().lookups, 100u);
+}
+
+TEST(Bpred, IndirectUsesBtb)
+{
+    BranchPredictor bp(defaults());
+    std::uint64_t pc = 0x4000;
+    BpredLookup miss = bp.predictIndirect(pc);
+    EXPECT_FALSE(miss.btbHit);
+    bp.update(pc, true, 0xbeef0, true, false);
+    BpredLookup hit = bp.predictIndirect(pc);
+    EXPECT_TRUE(hit.btbHit);
+    EXPECT_EQ(hit.target, 0xbeef0u);
+    // Indirect updates do not count as conditional branches.
+    EXPECT_EQ(bp.stats().condBranches, 0u);
+}
+
+TEST(Bpred, BtbRetargets)
+{
+    BranchPredictor bp(defaults());
+    std::uint64_t pc = 0x5000;
+    bp.update(pc, true, 0x100, true, false);
+    bp.update(pc, true, 0x200, true, false);
+    EXPECT_EQ(bp.predictIndirect(pc).target, 0x200u);
+}
+
+TEST(Bpred, BtbSetConflictEvictsLru)
+{
+    BpredParams p;
+    p.btbSets = 16;     // tiny BTB: pcs 16*4 bytes apart collide
+    p.btbAssoc = 2;
+    BranchPredictor bp(p);
+    std::uint64_t stride = 16 * 4;
+    bp.update(0x1000, true, 0xa, true, false);
+    bp.update(0x1000 + stride, true, 0xb, true, false);
+    bp.predictIndirect(0x1000);     // touch A
+    bp.update(0x1000 + 2 * stride, true, 0xc, true, false);
+    EXPECT_TRUE(bp.predictIndirect(0x1000).btbHit);
+    EXPECT_FALSE(bp.predictIndirect(0x1000 + stride).btbHit);
+    EXPECT_TRUE(bp.predictIndirect(0x1000 + 2 * stride).btbHit);
+}
+
+TEST(Bpred, NotTakenBranchesDontPolluteBtb)
+{
+    BranchPredictor bp(defaults());
+    bp.update(0x6000, false, 0x999, false, true);
+    EXPECT_FALSE(bp.predictIndirect(0x6000).btbHit);
+}
+
+TEST(Bpred, ResetStats)
+{
+    BranchPredictor bp(defaults());
+    BpredLookup l = bp.predictBranch(0x10);
+    bp.update(0x10, true, 0x20, l.taken, true);
+    bp.resetStats();
+    EXPECT_EQ(bp.stats().lookups, 0u);
+    EXPECT_EQ(bp.stats().condBranches, 0u);
+}
+
+} // namespace
+} // namespace mcd

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the tag-only set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "mem/cache.hh"
+
+namespace mcd {
+namespace {
+
+CacheParams
+smallCache(int size_kb, int assoc)
+{
+    CacheParams p;
+    p.name = "test";
+    p.sizeBytes = static_cast<std::uint64_t>(size_kb) * 1024;
+    p.associativity = assoc;
+    p.lineBytes = 64;
+    p.latencyCycles = 2;
+    return p;
+}
+
+TEST(Cache, Geometry)
+{
+    Cache c(smallCache(64, 2));
+    EXPECT_EQ(c.numSets(), 512);
+    Cache dm(smallCache(1024, 1));
+    EXPECT_EQ(dm.numSets(), 16384);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(smallCache(4, 2));
+    EXPECT_FALSE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x1038, false));   // same 64-byte line
+    EXPECT_FALSE(c.access(0x1040, false));  // next line
+    EXPECT_EQ(c.stats().accesses, 4u);
+    EXPECT_EQ(c.stats().hits, 2u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, LruEvictsLeastRecent)
+{
+    // 2-way, map three lines onto one set; the set stride for a
+    // 4 KB 2-way 64 B cache is 32 sets * 64 = 2 KB.
+    Cache c(smallCache(4, 2));
+    std::uint64_t stride = 2048;
+    c.access(0 * stride, false);        // A
+    c.access(1 * stride, false);        // B
+    c.access(0 * stride, false);        // touch A -> B is LRU
+    c.access(2 * stride, false);        // C evicts B
+    EXPECT_TRUE(c.probe(0 * stride));
+    EXPECT_FALSE(c.probe(1 * stride));
+    EXPECT_TRUE(c.probe(2 * stride));
+}
+
+TEST(Cache, DirectMappedConflicts)
+{
+    Cache c(smallCache(4, 1));
+    std::uint64_t stride = 4096;
+    EXPECT_FALSE(c.access(0, false));
+    EXPECT_FALSE(c.access(stride, false));  // evicts line 0
+    EXPECT_FALSE(c.access(0, false));       // conflict miss
+    EXPECT_EQ(c.stats().misses, 3u);
+}
+
+TEST(Cache, WritebackCounting)
+{
+    Cache c(smallCache(4, 1));
+    std::uint64_t stride = 4096;
+    c.access(0, true);              // dirty
+    c.access(stride, false);        // evicts dirty line -> writeback
+    EXPECT_EQ(c.stats().writebacks, 1u);
+    c.access(2 * stride, false);    // evicts clean line
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    Cache c(smallCache(4, 1));
+    c.access(0, false);         // clean fill
+    c.access(0, true);          // write hit -> dirty
+    c.access(4096, false);      // evict
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, ResetClears)
+{
+    Cache c(smallCache(4, 2));
+    c.access(0x40, true);
+    c.reset();
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_EQ(c.stats().accesses, 0u);
+}
+
+TEST(Cache, ProbeDoesNotMutate)
+{
+    Cache c(smallCache(4, 2));
+    EXPECT_FALSE(c.probe(0x80));
+    EXPECT_EQ(c.stats().accesses, 0u);
+    c.access(0x80, false);
+    EXPECT_TRUE(c.probe(0x80));
+    EXPECT_EQ(c.stats().accesses, 1u);
+}
+
+TEST(Cache, MissRateCalculation)
+{
+    Cache c(smallCache(4, 2));
+    c.access(0, false);
+    c.access(0, false);
+    c.access(0, false);
+    c.access(0, false);
+    EXPECT_DOUBLE_EQ(c.stats().missRate(), 0.25);
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    CacheParams p = smallCache(4, 2);
+    p.sizeBytes = 5000;     // not a power of two
+    EXPECT_THROW(Cache c(p), FatalError);
+    p = smallCache(4, 0);
+    EXPECT_THROW(Cache c(p), FatalError);
+}
+
+class CacheSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(CacheSweep, FillWholeCacheThenHitEverything)
+{
+    auto [kb, assoc] = GetParam();
+    Cache c(smallCache(kb, assoc));
+    std::uint64_t lines = kb * 1024ull / 64;
+    for (std::uint64_t i = 0; i < lines; ++i)
+        EXPECT_FALSE(c.access(i * 64, false));
+    for (std::uint64_t i = 0; i < lines; ++i)
+        EXPECT_TRUE(c.access(i * 64, false));
+    EXPECT_DOUBLE_EQ(c.stats().missRate(), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheSweep,
+    ::testing::Values(std::make_tuple(4, 1), std::make_tuple(4, 2),
+                      std::make_tuple(16, 2), std::make_tuple(64, 2),
+                      std::make_tuple(64, 4), std::make_tuple(1024, 1)));
+
+} // namespace
+} // namespace mcd

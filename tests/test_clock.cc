@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for clock domains and the DVFS operating-point table.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "clock/clock_domain.hh"
+#include "clock/operating_points.hh"
+#include "common/log.hh"
+
+namespace mcd {
+namespace {
+
+TEST(ClockDomain, EdgesAreStrictlyMonotone)
+{
+    ClockDomain c(Domain::Integer, 1e9, 42);
+    Tick prev = c.now();
+    for (int i = 0; i < 100000; ++i) {
+        Tick t = c.advance();
+        ASSERT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(ClockDomain, MeanPeriodMatchesFrequency)
+{
+    ClockDomain c(Domain::Integer, 1e9, 7);
+    Tick start = c.now();
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        c.advance();
+    double mean = static_cast<double>(c.now() - start) / n;
+    EXPECT_NEAR(mean, 1000.0, 2.0);
+}
+
+TEST(ClockDomain, JitterSpreadMatchesSigma)
+{
+    ClockDomain c(Domain::Integer, 1e9, 11);
+    double sum = 0.0, sq = 0.0;
+    const int n = 100000;
+    Tick prev = c.now();
+    for (int i = 0; i < n; ++i) {
+        Tick t = c.advance();
+        double d = static_cast<double>(t - prev) - 1000.0;
+        sum += d;
+        sq += d * d;
+        prev = t;
+    }
+    double sigma = std::sqrt(sq / n - (sum / n) * (sum / n));
+    EXPECT_NEAR(sigma, defaultJitterSigmaPs, 8.0);
+}
+
+TEST(ClockDomain, ZeroJitterIsExact)
+{
+    ClockDomain c(Domain::Integer, 1e9, 3, 0.0, false);
+    Tick prev = c.now();
+    for (int i = 0; i < 100; ++i) {
+        Tick t = c.advance();
+        EXPECT_EQ(t - prev, 1000u);
+        prev = t;
+    }
+}
+
+TEST(ClockDomain, FrequencyChangeAffectsLaterEdges)
+{
+    ClockDomain c(Domain::Integer, 1e9, 3, 0.0, false);
+    c.advance();
+    c.setFrequency(500e6);
+    // The already-scheduled edge keeps the old period...
+    Tick a = c.advance();
+    // ...and the next one uses the new one.
+    Tick b = c.advance();
+    EXPECT_EQ(b - a, 2000u);
+    EXPECT_DOUBLE_EQ(c.period(), 2000.0);
+}
+
+TEST(ClockDomain, RandomPhaseDiffersAcrossSeeds)
+{
+    ClockDomain a(Domain::Integer, 1e9, 1);
+    ClockDomain b(Domain::Integer, 1e9, 2);
+    EXPECT_NE(a.now(), b.now());
+}
+
+TEST(ClockDomain, CycleCounting)
+{
+    ClockDomain c(Domain::FloatingPoint, 1e9, 5);
+    EXPECT_EQ(c.cycles(), 0u);
+    for (int i = 0; i < 17; ++i)
+        c.advance();
+    EXPECT_EQ(c.cycles(), 17u);
+}
+
+TEST(ClockDomain, RejectsNonPositiveFrequency)
+{
+    EXPECT_THROW(ClockDomain(Domain::Integer, 0.0, 1), FatalError);
+    ClockDomain c(Domain::Integer, 1e9, 1);
+    EXPECT_THROW(c.setFrequency(-1.0), FatalError);
+}
+
+TEST(ClockDomain, VoltageAccessors)
+{
+    ClockDomain c(Domain::Integer, 1e9, 1);
+    c.setVoltage(0.9);
+    EXPECT_DOUBLE_EQ(c.voltage(), 0.9);
+}
+
+// -------------------------------------------------------------------
+// DvfsTable.
+// -------------------------------------------------------------------
+
+TEST(DvfsTable, PaperDefaults)
+{
+    DvfsTable t;
+    EXPECT_EQ(t.numPoints(), 32);
+    EXPECT_DOUBLE_EQ(t.slowest().frequency, 250e6);
+    EXPECT_DOUBLE_EQ(t.fastest().frequency, 1e9);
+    EXPECT_DOUBLE_EQ(t.slowest().voltage, 0.65);
+    EXPECT_DOUBLE_EQ(t.fastest().voltage, 1.2);
+}
+
+TEST(DvfsTable, PointsAreLinearAndIncreasing)
+{
+    DvfsTable t;
+    for (int i = 1; i < t.numPoints(); ++i) {
+        EXPECT_GT(t.point(i).frequency, t.point(i - 1).frequency);
+        EXPECT_GT(t.point(i).voltage, t.point(i - 1).voltage);
+    }
+    double fstep = t.point(1).frequency - t.point(0).frequency;
+    double vstep = t.point(1).voltage - t.point(0).voltage;
+    EXPECT_NEAR(fstep, 750e6 / 31, 1.0);
+    EXPECT_NEAR(vstep, 0.55 / 31, 1e-9);
+}
+
+class DvfsTablePoints : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(DvfsTablePoints, VoltageMapConsistency)
+{
+    DvfsTable t;
+    const OperatingPoint &p = t.point(GetParam());
+    EXPECT_NEAR(t.voltageFor(p.frequency), p.voltage, 1e-9);
+    EXPECT_NEAR(t.frequencyFor(p.voltage), p.frequency, 1.0);
+    EXPECT_EQ(t.indexNearest(p.frequency), GetParam());
+    EXPECT_EQ(t.indexAtLeast(p.frequency), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(All32, DvfsTablePoints, ::testing::Range(0, 32));
+
+TEST(DvfsTable, VoltageClamping)
+{
+    DvfsTable t;
+    EXPECT_DOUBLE_EQ(t.voltageFor(100e6), 0.65);
+    EXPECT_DOUBLE_EQ(t.voltageFor(2e9), 1.2);
+    EXPECT_DOUBLE_EQ(t.frequencyFor(0.1), 250e6);
+    EXPECT_DOUBLE_EQ(t.frequencyFor(2.0), 1e9);
+}
+
+TEST(DvfsTable, IndexAtLeastRounding)
+{
+    DvfsTable t;
+    // A frequency between two points must round up.
+    Hertz f = (t.point(3).frequency + t.point(4).frequency) / 2;
+    EXPECT_EQ(t.indexAtLeast(f), 4);
+    EXPECT_EQ(t.indexAtLeast(2e9), 31);
+    EXPECT_EQ(t.indexAtLeast(0.0), 0);
+}
+
+TEST(DvfsTable, CustomTableValidation)
+{
+    EXPECT_THROW(DvfsTable(1e9, 1e9, 0.5, 1.0, 4), FatalError);
+    EXPECT_THROW(DvfsTable(1e8, 1e9, 0.5, 1.0, 1), FatalError);
+    DvfsTable t(1e8, 1e9, 0.5, 1.0, 10);
+    EXPECT_EQ(t.numPoints(), 10);
+}
+
+} // namespace
+} // namespace mcd

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the clustering phase: frequency selection, merging,
+ * transition lead times, and schedule emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/clustering.hh"
+
+namespace mcd {
+namespace {
+
+constexpr Hertz fmax = 1e9;
+constexpr Hertz fmin = 250e6;
+
+DomainHistogram
+histAt(Hertz f, double work)
+{
+    DomainHistogram h;
+    h.work[histogramBin(f, fmin, fmax)] = work;
+    return h;
+}
+
+ClusteringConfig
+cfg(DvfsKind model = DvfsKind::XScale, double d = 0.05)
+{
+    ClusteringConfig c;
+    c.model = model;
+    c.targetDilation = d;
+    return c;
+}
+
+TEST(Clustering, CandidateCountsMatchModels)
+{
+    EXPECT_EQ(ClusterPhase(cfg(DvfsKind::XScale)).candidates().size(),
+              320u);
+    EXPECT_EQ(ClusterPhase(cfg(DvfsKind::Transmeta)).candidates().size(),
+              32u);
+}
+
+TEST(Clustering, CandidatesAscendWithinRange)
+{
+    ClusterPhase cp(cfg());
+    const auto &f = cp.candidates();
+    EXPECT_DOUBLE_EQ(f.front(), fmin);
+    EXPECT_DOUBLE_EQ(f.back(), fmax);
+    for (std::size_t i = 1; i < f.size(); ++i)
+        EXPECT_GT(f[i], f[i - 1]);
+}
+
+TEST(Clustering, DilationZeroAtOrAboveAssignedFrequency)
+{
+    ClusterPhase cp(cfg());
+    DomainHistogram h = histAt(500e6, 10000.0);
+    EXPECT_DOUBLE_EQ(cp.dilationAt(h, 1e9), 0.0);
+    EXPECT_NEAR(cp.dilationAt(h, 510e6), 0.0, 1500.0);
+}
+
+TEST(Clustering, DilationGrowsAsFrequencyDrops)
+{
+    ClusterPhase cp(cfg());
+    DomainHistogram h = histAt(1e9, 10000.0);
+    double prev = 0.0;
+    for (Hertz f : {900e6, 700e6, 500e6, 250e6}) {
+        double d = cp.dilationAt(h, f);
+        EXPECT_GT(d, prev);
+        prev = d;
+    }
+    // Exact form: work * fmax * (1/f - 1/fa).
+    EXPECT_NEAR(cp.dilationAt(h, 500e6),
+                10000.0 * 1e9 * (1.0 / 500e6 - 1.0 /
+                                 histogramBinFreq(319, fmin, fmax)),
+                30.0);
+}
+
+TEST(Clustering, EnergyQuadraticInVoltage)
+{
+    ClusterPhase cp(cfg());
+    DomainHistogram h = histAt(1e9, 1000.0);
+    double eFull = cp.energyAt(h, 1e9);
+    double eMin = cp.energyAt(h, 250e6);
+    EXPECT_DOUBLE_EQ(eFull, 1000.0);
+    EXPECT_NEAR(eMin, 1000.0 * (0.65 / 1.2) * (0.65 / 1.2), 1e-6);
+}
+
+TEST(Clustering, EnergyIncludesIdleTerm)
+{
+    ClusteringConfig c = cfg();
+    c.idlePowerFraction = 0.5;
+    ClusterPhase cp(c);
+    DomainHistogram empty;
+    EXPECT_DOUBLE_EQ(cp.energyAt(empty, 1e9, 1000), 500.0);
+}
+
+TEST(Clustering, MinFeasibleRespectsBudget)
+{
+    ClusterPhase cp(cfg(DvfsKind::XScale, 0.05));
+    // 10 us of 1 GHz-bin work in a 50 us interval; budget 2.5 us.
+    DomainHistogram h = histAt(1e9, 10'000'000.0);
+    Hertz f = cp.minFeasibleFrequency(h, 50'000'000);
+    EXPECT_LE(cp.dilationAt(h, f), 0.05 * 50'000'000.0);
+    // One step slower must violate the budget.
+    const auto &cands = cp.candidates();
+    for (std::size_t i = 1; i < cands.size(); ++i) {
+        if (cands[i] == f) {
+            EXPECT_GT(cp.dilationAt(h, cands[i - 1]),
+                      0.05 * 50'000'000.0);
+            break;
+        }
+    }
+}
+
+TEST(Clustering, EmptyHistogramScalesToMinimum)
+{
+    ClusterPhase cp(cfg());
+    DomainHistogram h;
+    EXPECT_DOUBLE_EQ(cp.minFeasibleFrequency(h, 50'000'000), fmin);
+}
+
+TEST(Clustering, TransmetaReconfigChargeRaisesFrequency)
+{
+    // The same histogram, the same budget: the Transmeta model must
+    // choose an equal-or-higher frequency because each boundary costs
+    // a PLL re-lock.
+    DomainHistogram h = histAt(1e9, 3'000'000.0);
+    ClusterPhase xs(cfg(DvfsKind::XScale, 0.05));
+    ClusterPhase tm(cfg(DvfsKind::Transmeta, 0.05));
+    Hertz fx = xs.minFeasibleFrequency(h, 50'000'000);
+    Hertz ft = tm.minFeasibleFrequency(h, 50'000'000);
+    EXPECT_GE(ft, fx);
+}
+
+TEST(Clustering, TransitionTimes)
+{
+    ClusterPhase xs(cfg(DvfsKind::XScale));
+    EXPECT_EQ(xs.transitionTime(1e9, 1e9), 0u);
+    // Full range: 320 steps * 0.1718 us = 55 us.
+    EXPECT_NEAR(static_cast<double>(xs.transitionTime(1e9, 250e6)),
+                fromMicroseconds(55.0), fromMicroseconds(0.2));
+    ClusterPhase tm(cfg(DvfsKind::Transmeta));
+    // Full range: 32 steps * 20 us + 15 us re-lock.
+    EXPECT_NEAR(static_cast<double>(tm.transitionTime(250e6, 1e9)),
+                fromMicroseconds(655.0), fromMicroseconds(1.0));
+}
+
+std::vector<IntervalHistos>
+twoPhaseIntervals()
+{
+    // Four 50 us intervals: FP busy in the first two, idle after.
+    std::vector<IntervalHistos> ivs;
+    for (int i = 0; i < 4; ++i) {
+        IntervalHistos iv;
+        iv.start = i * 50'000'000ULL;
+        iv.end = (i + 1) * 50'000'000ULL;
+        iv.hist[domainIndex(Domain::Integer)] = histAt(1e9, 30'000'000.0);
+        if (i < 2) {
+            iv.hist[domainIndex(Domain::FloatingPoint)] =
+                histAt(1e9, 30'000'000.0);
+        }
+        iv.hist[domainIndex(Domain::LoadStore)] =
+            histAt(500e6, 4'000'000.0);
+        ivs.push_back(iv);
+    }
+    return ivs;
+}
+
+TEST(Clustering, PlansCoverTimelinePerDomain)
+{
+    ClusterPhase cp(cfg());
+    ClusterResult r = cp.run(twoPhaseIntervals());
+    for (Domain d : scalableDomains) {
+        const auto &plan = r.plans[domainIndex(d)];
+        ASSERT_FALSE(plan.empty());
+        EXPECT_EQ(plan.front().start, 0u);
+        EXPECT_EQ(plan.back().end, 200'000'000u);
+        for (std::size_t i = 1; i < plan.size(); ++i)
+            EXPECT_EQ(plan[i].start, plan[i - 1].end);
+    }
+}
+
+TEST(Clustering, FpPhaseChangeDetected)
+{
+    ClusterPhase cp(cfg());
+    ClusterResult r = cp.run(twoPhaseIntervals());
+    const auto &fp = r.plans[domainIndex(Domain::FloatingPoint)];
+    ASSERT_GE(fp.size(), 2u);
+    // Busy phase near full speed; idle phase at minimum.
+    EXPECT_GT(fp.front().frequency, 900e6);
+    EXPECT_DOUBLE_EQ(fp.back().frequency, fmin);
+}
+
+TEST(Clustering, FrontEndNeverScheduled)
+{
+    ClusterPhase cp(cfg());
+    ClusterResult r = cp.run(twoPhaseIntervals());
+    EXPECT_EQ(r.schedule.countFor(Domain::FrontEnd), 0u);
+    EXPECT_TRUE(r.plans[domainIndex(Domain::FrontEnd)].empty());
+}
+
+TEST(Clustering, ScheduleSortedWithLeadTimes)
+{
+    ClusterPhase cp(cfg());
+    ClusterResult r = cp.run(twoPhaseIntervals());
+    const auto &es = r.schedule.all();
+    ASSERT_FALSE(es.empty());
+    for (std::size_t i = 1; i < es.size(); ++i)
+        EXPECT_GE(es[i].when, es[i - 1].when);
+    // The FP drop at t=100us initiates no later than the boundary
+    // (XScale down-transitions apply immediately, so their lead time
+    // is zero; upward changes lead by the full voltage ramp).
+    bool found = false;
+    for (const ReconfigEntry &e : es) {
+        if (e.domain == Domain::FloatingPoint && e.frequency < 300e6) {
+            found = true;
+            EXPECT_LE(e.when, 100'000'000u);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Clustering, IdenticalIntervalsMergeToOneSegment)
+{
+    std::vector<IntervalHistos> ivs;
+    for (int i = 0; i < 4; ++i) {
+        IntervalHistos iv;
+        iv.start = i * 50'000'000ULL;
+        iv.end = (i + 1) * 50'000'000ULL;
+        iv.hist[domainIndex(Domain::Integer)] = histAt(700e6, 20'000'000.0);
+        ivs.push_back(iv);
+    }
+    ClusterPhase cp(cfg());
+    ClusterResult r = cp.run(ivs);
+    EXPECT_EQ(r.plans[domainIndex(Domain::Integer)].size(), 1u);
+    // At most one reconfiguration for the integer domain.
+    EXPECT_LE(r.schedule.countFor(Domain::Integer), 1u);
+}
+
+TEST(Clustering, EmptyInputYieldsEmptyResult)
+{
+    ClusterPhase cp(cfg());
+    ClusterResult r = cp.run({});
+    EXPECT_TRUE(r.schedule.empty());
+}
+
+} // namespace
+} // namespace mcd

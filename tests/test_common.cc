@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for src/common: RNG, stats helpers, logging, types.
+ */
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mcd {
+namespace {
+
+TEST(Types, PeriodConversion)
+{
+    EXPECT_DOUBLE_EQ(periodPs(1e9), 1000.0);
+    EXPECT_DOUBLE_EQ(periodPs(250e6), 4000.0);
+    EXPECT_DOUBLE_EQ(toSeconds(1'000'000'000'000ULL), 1.0);
+    EXPECT_EQ(fromSeconds(1e-6), 1'000'000ULL);
+    EXPECT_EQ(fromMicroseconds(15.0), 15'000'000ULL);
+}
+
+TEST(Types, DomainNames)
+{
+    EXPECT_STREQ(domainName(Domain::FrontEnd), "front-end");
+    EXPECT_STREQ(domainShortName(Domain::Integer), "INT");
+    EXPECT_STREQ(domainShortName(Domain::FloatingPoint), "FP");
+    EXPECT_STREQ(domainShortName(Domain::LoadStore), "LS");
+    EXPECT_EQ(numDomains, 4);
+    EXPECT_EQ(domainIndex(Domain::LoadStore), 3);
+}
+
+TEST(Types, ScalableDomainsExcludeFrontEnd)
+{
+    for (Domain d : scalableDomains)
+        EXPECT_NE(d, Domain::FrontEnd);
+    EXPECT_EQ(std::size(scalableDomains), 3u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeBounds)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.uniformRange(-3.0, 5.0);
+        ASSERT_GE(v, -3.0);
+        ASSERT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t v = r.uniformInt(10);
+        ASSERT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng r(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double v = r.normal(5.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 5.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, NormalClampedRespectsBounds)
+{
+    Rng r(17);
+    for (int i = 0; i < 100000; ++i) {
+        double v = r.normalClamped(0.0, 110.0, 3.0);
+        ASSERT_GE(v, -330.0);
+        ASSERT_LE(v, 330.0);
+    }
+}
+
+TEST(RunningStat, Basics)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    s.add(1.0);
+    s.add(2.0);
+    s.add(3.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(formatPercent(0.123), "12.3%");
+    EXPECT_EQ(formatPercent(-0.05, 0), "-5%");
+    EXPECT_EQ(formatPercent(0.2001, 2), "20.01%");
+}
+
+TEST(Format, MHz)
+{
+    EXPECT_EQ(formatMHz(1e9), "1000 MHz");
+    EXPECT_EQ(formatMHz(250e6), "250 MHz");
+}
+
+TEST(Format, Time)
+{
+    EXPECT_EQ(formatTime(500), "500 ps");
+    EXPECT_EQ(formatTime(1'500), "1.50 ns");
+    EXPECT_EQ(formatTime(2'500'000), "2.50 us");
+    EXPECT_EQ(formatTime(3'000'000'000ULL), "3.000 ms");
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.header({"a", "bbbb"});
+    t.row({"xx", "y"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("xx"), std::string::npos);
+    // Header separator exists.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Log, FatalThrows)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+}
+
+TEST(Log, PanicThrows)
+{
+    EXPECT_THROW(panic("bug"), PanicError);
+}
+
+TEST(Log, AssertHelper)
+{
+    EXPECT_NO_THROW(mcdAssert(true, "fine"));
+    EXPECT_THROW(mcdAssert(false, "nope"), PanicError);
+}
+
+} // namespace
+} // namespace mcd

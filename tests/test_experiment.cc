@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the experiment runner (profiling -> analysis -> dynamic
+ * run pipeline, the global-frequency search, and the results cache).
+ */
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+namespace mcd {
+namespace {
+
+TEST(Experiment, DynamicRunProducesScheduleAndResult)
+{
+    ExperimentConfig ec;
+    ExperimentRunner runner(ec);
+    auto dyn = runner.runDynamic("epic", 0.05);
+    EXPECT_GT(dyn.analysis.intervals, 0u);
+    EXPECT_GT(dyn.analysis.eventsTotal, 50'000u);
+    EXPECT_GT(dyn.result.committed, 100'000u);
+    // At least the FP domain must have been scaled for this integer
+    // filter kernel.
+    EXPECT_LT(dyn.result.domains[domainIndex(Domain::FloatingPoint)]
+                  .avgFrequency, 900e6);
+}
+
+TEST(Experiment, AnalysisPlansRespectDilationDirection)
+{
+    // A tighter dilation target must choose frequencies that are
+    // greater than or equal to a looser one, domain by domain.
+    ExperimentConfig ec;
+    ExperimentRunner runner(ec);
+    auto tight = runner.runDynamic("gcc", 0.01);
+    auto loose = runner.runDynamic("gcc", 0.10);
+    for (Domain d : scalableDomains) {
+        int di = domainIndex(d);
+        EXPECT_GE(tight.result.domains[di].avgFrequency + 1e6,
+                  loose.result.domains[di].avgFrequency);
+    }
+}
+
+TEST(Experiment, FullMatrixShapes)
+{
+    ExperimentConfig ec;
+    ExperimentRunner runner(ec);
+    BenchmarkResults r = runner.runBenchmark("gcc");
+
+    // The MCD clocking style costs a little performance.
+    EXPECT_GT(r.perfDegradation(r.mcdBaseline), -0.005);
+    EXPECT_LT(r.perfDegradation(r.mcdBaseline), 0.06);
+
+    // The dynamic configurations save energy; deeper target -> more.
+    EXPECT_GT(r.energySavings(r.dyn1), 0.0);
+    EXPECT_GT(r.energySavings(r.dyn5), r.energySavings(r.dyn1));
+    EXPECT_GT(r.perfDegradation(r.dyn5), r.perfDegradation(r.dyn1));
+
+    // Global was matched to dynamic-5% degradation.
+    EXPECT_NEAR(r.perfDegradation(r.global), r.perfDegradation(r.dyn5),
+                0.05);
+    EXPECT_GT(r.globalFrequency, 250e6);
+    EXPECT_LT(r.globalFrequency, 1e9);
+
+    // The headline: at matched degradation, per-domain scaling saves
+    // more energy than global scaling (paper Figures 6-7).
+    EXPECT_GT(r.energySavings(r.dyn5), r.energySavings(r.global));
+    EXPECT_GT(r.edpImprovement(r.dyn5), r.edpImprovement(r.global));
+
+    EXPECT_GT(r.schedule5Size, 0u);
+}
+
+TEST(Experiment, CacheRoundtrip)
+{
+    std::string dir = std::filesystem::temp_directory_path() /
+        "mcd-test-cache";
+    std::filesystem::remove_all(dir);
+
+    ExperimentConfig ec;
+    ec.cacheDir = dir;
+    ExperimentRunner a(ec);
+    BenchmarkResults first = a.runBenchmark("mst");
+
+    ExperimentRunner b(ec);
+    BenchmarkResults second = b.runBenchmark("mst");
+    EXPECT_EQ(first.baseline.execTime, second.baseline.execTime);
+    EXPECT_DOUBLE_EQ(first.dyn5.totalEnergy, second.dyn5.totalEnergy);
+    EXPECT_DOUBLE_EQ(first.globalFrequency, second.globalFrequency);
+    EXPECT_EQ(first.schedule1Size, second.schedule1Size);
+    for (int d = 0; d < numDomains; ++d) {
+        EXPECT_EQ(first.dyn5.domains[d].reconfigurations,
+                  second.dyn5.domains[d].reconfigurations);
+        EXPECT_DOUBLE_EQ(first.dyn5.domains[d].avgFrequency,
+                         second.dyn5.domains[d].avgFrequency);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Experiment, CacheKeyDistinguishesConfigs)
+{
+    std::string dir = std::filesystem::temp_directory_path() /
+        "mcd-test-cache2";
+    std::filesystem::remove_all(dir);
+
+    ExperimentConfig x;
+    x.cacheDir = dir;
+    ExperimentRunner rx(x);
+    BenchmarkResults xs = rx.runBenchmark("mst");
+
+    ExperimentConfig t = x;
+    t.model = DvfsKind::Transmeta;
+    ExperimentRunner rt(t);
+    BenchmarkResults tm = rt.runBenchmark("mst");
+
+    // Different models must not alias in the cache: the Transmeta
+    // run has PLL re-lock stalls, so the dynamic results differ.
+    EXPECT_NE(xs.dyn5.execTime, tm.dyn5.execTime);
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace mcd

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the memory hierarchy timing façade.
+ */
+
+#include <gtest/gtest.h>
+
+#include "clock/clock_domain.hh"
+#include "clock/sync.hh"
+#include "mem/hierarchy.hh"
+
+namespace mcd {
+namespace {
+
+struct Rig
+{
+    ClockDomain fe{Domain::FrontEnd, 1e9, 1, 0.0, false};
+    ClockDomain ls{Domain::LoadStore, 1e9, 2, 0.0, false};
+    MemParams params;
+
+    MemoryHierarchy
+    make(bool cross = false)
+    {
+        return MemoryHierarchy(params, fe, ls,
+                               SyncRule(cross, 300.0));
+    }
+};
+
+TEST(Hierarchy, L1DHitLatency)
+{
+    Rig rig;
+    MemoryHierarchy h = rig.make();
+    h.dataAccess(0x1000, false, 0);             // warm the line
+    MemAccessResult r = h.dataAccess(0x1000, false, 10000);
+    EXPECT_TRUE(r.l1Hit);
+    EXPECT_FALSE(r.l2Accessed);
+    // 2 cycles at 1 GHz, encoded half a period early.
+    EXPECT_EQ(r.ready, 10000u + 1500u);
+}
+
+TEST(Hierarchy, L2HitLatency)
+{
+    Rig rig;
+    MemoryHierarchy h = rig.make();
+    h.dataAccess(0x1000, false, 0);             // into L1 + L2
+    h.l1d().reset();                            // force L1 miss
+    MemAccessResult r = h.dataAccess(0x1000, false, 10000);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_TRUE(r.l2Accessed);
+    EXPECT_TRUE(r.l2Hit);
+    EXPECT_FALSE(r.dramAccessed);
+    // L1 (2) + L2 (12) cycles minus the half-period encoding.
+    EXPECT_EQ(r.ready, 10000u + 14000u - 500u);
+}
+
+TEST(Hierarchy, DramLatencyAdded)
+{
+    Rig rig;
+    MemoryHierarchy h = rig.make();
+    MemAccessResult r = h.dataAccess(0x1000, false, 10000);
+    EXPECT_TRUE(r.dramAccessed);
+    EXPECT_EQ(r.dramTime, 80000u);
+    EXPECT_EQ(r.ready, 10000u + 14000u + 80000u - 500u);
+}
+
+TEST(Hierarchy, LsClockScalingSlowsCaches)
+{
+    Rig rig;
+    rig.ls.setFrequency(500e6);
+    MemoryHierarchy h = rig.make();
+    h.dataAccess(0x1000, false, 0);
+    MemAccessResult r = h.dataAccess(0x1000, false, 10000);
+    EXPECT_TRUE(r.l1Hit);
+    // 2 cycles at 500 MHz = 4000 ps, minus half a period (1000).
+    EXPECT_EQ(r.ready, 10000u + 3000u);
+}
+
+TEST(Hierarchy, DramFixedUnderLsScaling)
+{
+    Rig rig;
+    rig.ls.setFrequency(250e6);
+    MemoryHierarchy h = rig.make();
+    MemAccessResult r = h.dataAccess(0x1000, false, 0);
+    // DRAM time unchanged: the external interface is full speed.
+    EXPECT_EQ(r.dramTime, 80000u);
+}
+
+TEST(Hierarchy, DramScalesWithClockWhenConfigured)
+{
+    Rig rig;
+    rig.params.dramScalesWithClock = true;
+    rig.ls.setFrequency(500e6);
+    MemoryHierarchy h = rig.make();
+    MemAccessResult r = h.dataAccess(0x1000, false, 0);
+    // 80 "cycles" at 500 MHz = 160 ns.
+    EXPECT_EQ(r.dramTime, 160000u);
+}
+
+TEST(Hierarchy, InstFetchHit)
+{
+    Rig rig;
+    MemoryHierarchy h = rig.make();
+    h.instFetch(0x4000, 0);
+    MemAccessResult r = h.instFetch(0x4000, 5000);
+    EXPECT_TRUE(r.l1Hit);
+    EXPECT_EQ(r.ready, 5000u + 1500u);
+}
+
+TEST(Hierarchy, InstMissPaysSyncBothWays)
+{
+    Rig rig;
+    MemoryHierarchy noSync = rig.make(false);
+    MemAccessResult a = noSync.instFetch(0x8000, 0);
+
+    Rig rig2;
+    MemoryHierarchy withSync = rig2.make(true);
+    MemAccessResult b = withSync.instFetch(0x8000, 0);
+
+    EXPECT_FALSE(a.l1Hit);
+    EXPECT_FALSE(b.l1Hit);
+    // Cross-domain adds about 2 * Ts (one each way); same-domain adds
+    // two next-tick (+1 ps) hops.
+    EXPECT_NEAR(static_cast<double>(b.ready - a.ready), 600.0, 5.0);
+}
+
+TEST(Hierarchy, WritePropagatesDirtyToL2OnlyOnEviction)
+{
+    Rig rig;
+    MemoryHierarchy h = rig.make();
+    h.dataAccess(0x1000, true, 0);
+    EXPECT_EQ(h.l1d().stats().accesses, 1u);
+    EXPECT_EQ(h.l2().stats().accesses, 1u);
+    h.dataAccess(0x1000, true, 100);
+    // L1 hit: no L2 traffic.
+    EXPECT_EQ(h.l2().stats().accesses, 1u);
+}
+
+TEST(Hierarchy, ResetClearsAllLevels)
+{
+    Rig rig;
+    MemoryHierarchy h = rig.make();
+    h.dataAccess(0x1000, false, 0);
+    h.instFetch(0x2000, 0);
+    h.reset();
+    EXPECT_EQ(h.l1d().stats().accesses, 0u);
+    EXPECT_EQ(h.l1i().stats().accesses, 0u);
+    EXPECT_EQ(h.l2().stats().accesses, 0u);
+    EXPECT_FALSE(h.l1d().probe(0x1000));
+}
+
+TEST(Hierarchy, Table1Defaults)
+{
+    MemParams p;
+    EXPECT_EQ(p.l1i.sizeBytes, 64u * 1024);
+    EXPECT_EQ(p.l1i.associativity, 2);
+    EXPECT_EQ(p.l1d.sizeBytes, 64u * 1024);
+    EXPECT_EQ(p.l1d.associativity, 2);
+    EXPECT_EQ(p.l2.sizeBytes, 1024u * 1024);
+    EXPECT_EQ(p.l2.associativity, 1);
+    EXPECT_EQ(p.l1d.latencyCycles, 2);
+    EXPECT_EQ(p.l2.latencyCycles, 12);
+}
+
+} // namespace
+} // namespace mcd

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the reconfiguration schedule (log-file) format.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/schedule.hh"
+#include "common/log.hh"
+
+namespace mcd {
+namespace {
+
+TEST(Schedule, FinalizeSortsByTime)
+{
+    ReconfigSchedule s;
+    s.add(3000, Domain::Integer, 500e6);
+    s.add(1000, Domain::FloatingPoint, 250e6);
+    s.add(2000, Domain::LoadStore, 750e6);
+    s.finalize();
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.all()[0].when, 1000u);
+    EXPECT_EQ(s.all()[1].when, 2000u);
+    EXPECT_EQ(s.all()[2].when, 3000u);
+}
+
+TEST(Schedule, CountsPerDomain)
+{
+    ReconfigSchedule s;
+    s.add(1, Domain::Integer, 1e9);
+    s.add(2, Domain::Integer, 5e8);
+    s.add(3, Domain::LoadStore, 5e8);
+    EXPECT_EQ(s.countFor(Domain::Integer), 2u);
+    EXPECT_EQ(s.countFor(Domain::LoadStore), 1u);
+    EXPECT_EQ(s.countFor(Domain::FloatingPoint), 0u);
+}
+
+TEST(Schedule, TextRoundtrip)
+{
+    ReconfigSchedule s;
+    s.add(123456789, Domain::Integer, 750e6);
+    s.add(999, Domain::FloatingPoint, 250e6);
+    s.add(5000000, Domain::LoadStore, 1e9);
+    s.finalize();
+    std::string text = s.toText();
+    ReconfigSchedule back = ReconfigSchedule::fromText(text);
+    ASSERT_EQ(back.size(), s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        EXPECT_EQ(back.all()[i].when, s.all()[i].when);
+        EXPECT_EQ(back.all()[i].domain, s.all()[i].domain);
+        EXPECT_DOUBLE_EQ(back.all()[i].frequency, s.all()[i].frequency);
+    }
+}
+
+TEST(Schedule, FromTextSkipsBlankLines)
+{
+    ReconfigSchedule s =
+        ReconfigSchedule::fromText("\n100 INT 500000000\n\n");
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.all()[0].domain, Domain::Integer);
+}
+
+TEST(Schedule, FromTextRejectsGarbage)
+{
+    EXPECT_THROW(ReconfigSchedule::fromText("hello world"), FatalError);
+    EXPECT_THROW(ReconfigSchedule::fromText("100 BOGUS 5e8"), FatalError);
+}
+
+TEST(Schedule, EmptyByDefault)
+{
+    ReconfigSchedule s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.toText(), "");
+}
+
+} // namespace
+} // namespace mcd

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the shaker algorithm and frequency histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/shaker.hh"
+#include "core/processor.hh"
+#include "workloads/workloads.hh"
+
+namespace mcd {
+namespace {
+
+constexpr Hertz fmax = 1e9;
+constexpr Hertz fmin = 250e6;
+
+/** Build a graph by hand. */
+IntervalGraph
+makeGraph(Tick interval_end)
+{
+    IntervalGraph g;
+    g.intervalStart = 0;
+    g.intervalEnd = interval_end;
+    return g;
+}
+
+std::int32_t
+addEvent(IntervalGraph &g, Domain d, Tick start, Tick end,
+         double power = 1.0)
+{
+    DagEvent ev;
+    ev.domain = d;
+    ev.start = start;
+    ev.end = end;
+    ev.origDuration = end - start;
+    ev.floorStart = 0;
+    ev.power = power;
+    ev.fu = FuClass::IntAlu;
+    g.events.push_back(ev);
+    g.out.emplace_back();
+    g.in.emplace_back();
+    return static_cast<std::int32_t>(g.events.size() - 1);
+}
+
+TEST(HistogramBins, MappingIsConsistent)
+{
+    EXPECT_EQ(histogramBin(fmin, fmin, fmax), 0);
+    EXPECT_EQ(histogramBin(fmax, fmin, fmax), DomainHistogram::bins - 1);
+    EXPECT_EQ(histogramBin(0.0, fmin, fmax), 0);
+    EXPECT_EQ(histogramBin(2e9, fmin, fmax), DomainHistogram::bins - 1);
+}
+
+class BinSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BinSweep, CenterFrequencyMapsBack)
+{
+    int b = GetParam();
+    Hertz f = histogramBinFreq(b, fmin, fmax);
+    EXPECT_EQ(histogramBin(f, fmin, fmax), b);
+    EXPECT_GE(f, fmin);
+    EXPECT_LE(f, fmax);
+}
+
+INSTANTIATE_TEST_SUITE_P(Every16th, BinSweep,
+                         ::testing::Range(0, DomainHistogram::bins, 16));
+
+TEST(Shaker, LoneEventStretchesToQuarterFrequency)
+{
+    IntervalGraph g = makeGraph(100000);
+    addEvent(g, Domain::Integer, 0, 1000);
+    ShakerConfig cfg;
+    ShakeResult r = shake(g, cfg, fmax, fmin);
+    EXPECT_NEAR(g.events[0].stretch, 4.0, 0.01);
+    // All work lands in the lowest bin.
+    EXPECT_GT(r.histogram[1].work[0], 0.0);
+    EXPECT_NEAR(r.histogram[1].total(), 1000.0, 1.0);
+}
+
+TEST(Shaker, TightChainCannotStretch)
+{
+    IntervalGraph g = makeGraph(3000);
+    auto a = addEvent(g, Domain::Integer, 0, 1000);
+    auto b = addEvent(g, Domain::Integer, 1000, 2000);
+    auto c = addEvent(g, Domain::Integer, 2000, 3000);
+    g.addEdge(a, b);
+    g.addEdge(b, c);
+    ShakerConfig cfg;
+    shake(g, cfg, fmax, fmin);
+    EXPECT_DOUBLE_EQ(g.events[a].stretch, 1.0);
+    EXPECT_DOUBLE_EQ(g.events[b].stretch, 1.0);
+    EXPECT_DOUBLE_EQ(g.events[c].stretch, 1.0);
+}
+
+TEST(Shaker, ChainWithTailSlackDistributes)
+{
+    // Three-event chain ending well before the interval end: the
+    // shaker should absorb the tail slack into stretches.
+    IntervalGraph g = makeGraph(12000);
+    auto a = addEvent(g, Domain::Integer, 0, 1000);
+    auto b = addEvent(g, Domain::Integer, 1000, 2000);
+    auto c = addEvent(g, Domain::Integer, 2000, 3000);
+    g.addEdge(a, b);
+    g.addEdge(b, c);
+    ShakerConfig cfg;
+    ShakeResult r = shake(g, cfg, fmax, fmin);
+    // 9000 ps of slack over 3 events allows full 4x stretch of all.
+    EXPECT_NEAR(g.events[a].stretch, 4.0, 0.05);
+    EXPECT_NEAR(g.events[b].stretch, 4.0, 0.05);
+    EXPECT_NEAR(g.events[c].stretch, 4.0, 0.05);
+    EXPECT_GT(r.slackConsumed, 8500.0);
+}
+
+TEST(Shaker, EdgeLagIsNotSlack)
+{
+    IntervalGraph g = makeGraph(20000);
+    auto a = addEvent(g, Domain::Integer, 0, 1000);
+    auto b = addEvent(g, Domain::Integer, 11000, 12000);
+    // The 10 ns gap is a fixed (front-end refill) latency, not slack;
+    // b is pinned at its dispatch slot like a real post-mispredict
+    // instruction (occupancy ceilings do this in full graphs).
+    g.addEdge(a, b, 10000);
+    g.events[b].startCeiling = 11000;
+    ShakerConfig cfg;
+    shake(g, cfg, fmax, fmin);
+    EXPECT_DOUBLE_EQ(g.events[a].stretch, 1.0);
+    // b still has the interval tail to stretch into.
+    EXPECT_GT(g.events[b].stretch, 3.0);
+}
+
+TEST(Shaker, EndCeilingBoundsDeferral)
+{
+    IntervalGraph g = makeGraph(100000);
+    auto a = addEvent(g, Domain::Integer, 0, 1000);
+    g.events[a].endCeiling = 2000;
+    ShakerConfig cfg;
+    shake(g, cfg, fmax, fmin);
+    EXPECT_LE(g.events[a].end, 2000u);
+    EXPECT_NEAR(g.events[a].stretch, 2.0, 0.01);
+}
+
+TEST(Shaker, StartCeilingBoundsLateness)
+{
+    IntervalGraph g = makeGraph(100000);
+    auto a = addEvent(g, Domain::Integer, 0, 1000);
+    auto b = addEvent(g, Domain::Integer, 1000, 2000);
+    g.addEdge(a, b);
+    g.events[a].startCeiling = 0;       // may not move later at all
+    g.events[a].endCeiling = 1500;
+    ShakerConfig cfg;
+    shake(g, cfg, fmax, fmin);
+    EXPECT_EQ(g.events[a].start, 0u);
+    EXPECT_LE(g.events[a].end, 1500u);
+}
+
+TEST(Shaker, FixedPortionDoesNotScale)
+{
+    // 100 ns event, 80 ns of which is DRAM time: only 20 ns scales.
+    IntervalGraph g = makeGraph(1'000'000);
+    auto a = addEvent(g, Domain::LoadStore, 0, 100000);
+    g.events[a].fixedPortion = 80000;
+    ShakerConfig cfg;
+    ShakeResult r = shake(g, cfg, fmax, fmin);
+    // Stretch 4x applies to the scalable 20 ns -> event of 160 ns.
+    EXPECT_NEAR(static_cast<double>(g.events[a].end - g.events[a].start),
+                160000.0, 500.0);
+    // Histogram counts only the scalable work.
+    EXPECT_NEAR(r.histogram[3].total(), 20000.0, 1.0);
+}
+
+TEST(Shaker, HighPowerEventsScaleFirst)
+{
+    // Two independent events, one hot and one cool, with only enough
+    // shared slack for roughly one of them: the hot one must win.
+    IntervalGraph g = makeGraph(4000);
+    auto hot = addEvent(g, Domain::Integer, 0, 1000, 2.0);
+    auto cool = addEvent(g, Domain::Integer, 0, 1000, 1.0);
+    auto sinkH = addEvent(g, Domain::Integer, 3500, 4000, 0.1);
+    auto sinkC = addEvent(g, Domain::Integer, 3500, 4000, 0.1);
+    g.addEdge(hot, sinkH);
+    g.addEdge(cool, sinkC);
+    g.events[sinkH].startCeiling = 3500;
+    g.events[sinkC].startCeiling = 3500;
+    g.events[sinkH].endCeiling = 4000;
+    g.events[sinkC].endCeiling = 4000;
+    ShakerConfig cfg;
+    cfg.maxPasses = 1;      // single backward+forward pair
+    shake(g, cfg, fmax, fmin);
+    EXPECT_GT(g.events[hot].stretch, g.events[cool].stretch);
+}
+
+TEST(Shaker, EmptyGraphIsFine)
+{
+    IntervalGraph g = makeGraph(1000);
+    ShakerConfig cfg;
+    ShakeResult r = shake(g, cfg, fmax, fmin);
+    EXPECT_EQ(r.passesRun, 0);
+    EXPECT_DOUBLE_EQ(r.histogram[1].total(), 0.0);
+}
+
+TEST(Shaker, TerminatesWithinConfiguredPasses)
+{
+    Program p = workloads::build("gcc", 1);
+    SimConfig cfg;
+    cfg.collectTrace = true;
+    cfg.maxInstructions = 15000;
+    McdProcessor proc(cfg, p);
+    proc.run();
+    DepGraphConfig gc;
+    auto gs = buildIntervalGraphs(proc.trace().trace(), gc);
+    ShakerConfig sc;
+    for (IntervalGraph &g : gs) {
+        ShakeResult r = shake(g, sc, fmax, fmin);
+        EXPECT_LE(r.passesRun, sc.maxPasses);
+        for (const DagEvent &ev : g.events) {
+            EXPECT_GE(ev.stretch, 1.0 - 1e-9);
+            EXPECT_LE(ev.stretch, 4.0 + 1e-9);
+        }
+    }
+}
+
+TEST(Shaker, HistogramConservesScalableWork)
+{
+    Program p = workloads::build("epic", 1);
+    SimConfig cfg;
+    cfg.collectTrace = true;
+    cfg.maxInstructions = 15000;
+    McdProcessor proc(cfg, p);
+    proc.run();
+    DepGraphConfig gc;
+    auto gs = buildIntervalGraphs(proc.trace().trace(), gc);
+    ShakerConfig sc;
+    for (IntervalGraph &g : gs) {
+        double scalable = 0.0;
+        for (const DagEvent &ev : g.events)
+            scalable += static_cast<double>(ev.origDuration -
+                                            ev.fixedPortion);
+        ShakeResult r = shake(g, sc, fmax, fmin);
+        double total = 0.0;
+        for (int d = 0; d < numDomains; ++d)
+            total += r.histogram[d].total();
+        EXPECT_NEAR(total, scalable, scalable * 1e-9 + 1.0);
+    }
+}
+
+} // namespace
+} // namespace mcd

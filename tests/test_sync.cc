@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the inter-domain synchronization rule, channels, and
+ * credit returns (paper Section 2.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "clock/sync.hh"
+
+namespace mcd {
+namespace {
+
+TEST(SyncRule, SameDomainIsNextEdge)
+{
+    SyncRule r(false, 300.0);
+    EXPECT_FALSE(r.visible(1000, 1000));
+    EXPECT_TRUE(r.visible(1000, 1001));
+    EXPECT_TRUE(r.visible(1000, 2000));
+    EXPECT_EQ(r.earliestVisible(1000), 1001u);
+}
+
+TEST(SyncRule, CrossDomainRequiresTs)
+{
+    SyncRule r(true, 300.0);
+    EXPECT_FALSE(r.visible(1000, 1200));    // T = 200 < Ts
+    EXPECT_FALSE(r.visible(1000, 1299));
+    EXPECT_TRUE(r.visible(1000, 1300));     // T = Ts exactly
+    EXPECT_TRUE(r.visible(1000, 2300));
+    EXPECT_EQ(r.earliestVisible(1000), 1300u);
+    EXPECT_TRUE(r.isCrossDomain());
+    EXPECT_EQ(r.syncTimePs(), 300u);
+}
+
+TEST(SyncRule, ForMaxFrequencyUsesPaperFraction)
+{
+    SyncRule r = SyncRule::forMaxFrequency(true, 1e9);
+    // 30% of a 1 GHz period = 300 ps.
+    EXPECT_EQ(r.syncTimePs(), 300u);
+    SyncRule slow = SyncRule::forMaxFrequency(true, 500e6);
+    EXPECT_EQ(slow.syncTimePs(), 600u);
+}
+
+TEST(SyncRule, DefaultIsSameDomain)
+{
+    SyncRule r;
+    EXPECT_FALSE(r.isCrossDomain());
+    EXPECT_TRUE(r.visible(10, 11));
+}
+
+TEST(SyncChannel, FifoOrderAndVisibility)
+{
+    SyncChannel<int> ch(SyncRule(true, 300.0));
+    ch.push(1, 1000);
+    ch.push(2, 2000);
+    EXPECT_EQ(ch.size(), 2u);
+    EXPECT_FALSE(ch.frontVisible(1200));
+    EXPECT_TRUE(ch.frontVisible(1400));
+    EXPECT_EQ(ch.visibleCount(1400), 1u);
+    EXPECT_EQ(ch.visibleCount(2400), 2u);
+    EXPECT_EQ(ch.front(), 1);
+    ch.pop();
+    EXPECT_EQ(ch.front(), 2);
+    ch.pop();
+    EXPECT_TRUE(ch.empty());
+}
+
+TEST(SyncChannel, SameDomainVisibleNextTick)
+{
+    SyncChannel<int> ch(SyncRule(false, 300.0));
+    ch.push(5, 1000);
+    EXPECT_FALSE(ch.frontVisible(1000));
+    EXPECT_TRUE(ch.frontVisible(1001));
+}
+
+TEST(SyncChannel, ClearEmpties)
+{
+    SyncChannel<int> ch(SyncRule(false, 0.0));
+    ch.push(1, 0);
+    ch.push(2, 0);
+    ch.clear();
+    EXPECT_TRUE(ch.empty());
+}
+
+TEST(CreditReturn, InitialCreditsAvailable)
+{
+    CreditReturnChannel c(SyncRule(true, 300.0), 4);
+    EXPECT_EQ(c.credits(0), 4);
+}
+
+TEST(CreditReturn, TakeAndGiveWithSync)
+{
+    CreditReturnChannel c(SyncRule(true, 300.0), 2);
+    c.take();
+    c.take();
+    EXPECT_EQ(c.credits(5000), 0);
+    c.give(5000);
+    // Not visible until the sync time elapses.
+    EXPECT_EQ(c.credits(5200), 0);
+    EXPECT_EQ(c.credits(5300), 1);
+    c.give(6000);
+    EXPECT_EQ(c.credits(10000), 2);
+}
+
+TEST(CreditReturn, ReturnsPreserveOrdering)
+{
+    CreditReturnChannel c(SyncRule(true, 100.0), 1);
+    c.take();
+    c.give(1000);
+    c.give(2000);   // more gives than takes is the caller's business
+    EXPECT_EQ(c.credits(1100), 1);
+    EXPECT_EQ(c.credits(2100), 2);
+}
+
+} // namespace
+} // namespace mcd

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the primitive-event trace collection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/processor.hh"
+#include "isa/builder.hh"
+#include "trace/trace.hh"
+
+namespace mcd {
+namespace {
+
+Program
+smallLoop()
+{
+    Builder b("t");
+    std::uint64_t buf = b.dataBlock(64);
+    b.li(4, static_cast<std::int64_t>(buf));
+    b.li(1, 0);
+    b.li(2, 300);
+    Label loop = b.here();
+    b.andi(5, 1, 63);
+    b.slli(5, 5, 3);
+    b.add(5, 4, 5);
+    b.ld(6, 5, 0);
+    b.add(6, 6, 1);
+    b.st(6, 5, 0);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, loop);
+    b.halt();
+    return b.build();
+}
+
+TEST(Trace, DisabledCollectorRecordsNothing)
+{
+    SimConfig cfg;
+    cfg.collectTrace = false;
+    McdProcessor proc(cfg, smallLoop());
+    proc.run();
+    EXPECT_EQ(proc.trace().size(), 0u);
+}
+
+TEST(Trace, OneRecordPerCommittedInstruction)
+{
+    SimConfig cfg;
+    cfg.collectTrace = true;
+    McdProcessor proc(cfg, smallLoop());
+    RunResult r = proc.run();
+    EXPECT_EQ(proc.trace().size(), r.committed);
+}
+
+TEST(Trace, TimestampsAreOrderedWithinInstructions)
+{
+    SimConfig cfg;
+    cfg.collectTrace = true;
+    McdProcessor proc(cfg, smallLoop());
+    proc.run();
+    for (const InstTrace &t : proc.trace().trace()) {
+        if (t.op == Opcode::HALT || t.op == Opcode::NOP)
+            continue;
+        EXPECT_LE(t.fetchTime, t.dispatchTime + 1);
+        EXPECT_LT(t.dispatchTime, t.issueTime);
+        EXPECT_LT(t.issueTime, t.execDone);
+        if (t.isMem()) {
+            EXPECT_LT(t.memIssue, t.memDone);
+            EXPECT_LE(t.issueTime, t.memIssue);
+        }
+        EXPECT_LE(t.execDone, t.commitTime + 1);
+    }
+}
+
+TEST(Trace, SequenceNumbersCommitInOrder)
+{
+    SimConfig cfg;
+    cfg.collectTrace = true;
+    McdProcessor proc(cfg, smallLoop());
+    proc.run();
+    const auto &tr = proc.trace().trace();
+    for (std::size_t i = 1; i < tr.size(); ++i)
+        EXPECT_EQ(tr[i].seq, tr[i - 1].seq + 1);
+}
+
+TEST(Trace, DependenciesPointBackward)
+{
+    SimConfig cfg;
+    cfg.collectTrace = true;
+    McdProcessor proc(cfg, smallLoop());
+    proc.run();
+    for (const InstTrace &t : proc.trace().trace()) {
+        if (t.dep1) {
+            EXPECT_LT(t.dep1, t.seq);
+        }
+        if (t.dep2) {
+            EXPECT_LT(t.dep2, t.seq);
+        }
+    }
+}
+
+TEST(Trace, LoadsCarryDependences)
+{
+    SimConfig cfg;
+    cfg.collectTrace = true;
+    McdProcessor proc(cfg, smallLoop());
+    proc.run();
+    bool sawLoadWithBaseDep = false;
+    bool sawStoreWithDataDep = false;
+    for (const InstTrace &t : proc.trace().trace()) {
+        if (t.isLoadOp() && t.dep1)
+            sawLoadWithBaseDep = true;
+        if (t.isMem() && !t.isLoadOp() && t.dep2)
+            sawStoreWithDataDep = true;
+    }
+    EXPECT_TRUE(sawLoadWithBaseDep);
+    EXPECT_TRUE(sawStoreWithDataDep);
+}
+
+TEST(Trace, ExecEventDomainMapping)
+{
+    InstTrace t;
+    t.op = Opcode::LD;
+    EXPECT_EQ(t.execEventDomain(), Domain::Integer);    // AGU
+    t.op = Opcode::FADD;
+    EXPECT_EQ(t.execEventDomain(), Domain::FloatingPoint);
+    t.op = Opcode::ADD;
+    EXPECT_EQ(t.execEventDomain(), Domain::Integer);
+}
+
+TEST(Trace, EventKindNames)
+{
+    EXPECT_STREQ(eventKindName(EventKind::Fetch), "fetch");
+    EXPECT_STREQ(eventKindName(EventKind::AddrCalc), "addr-calc");
+    EXPECT_STREQ(eventKindName(EventKind::MemAccess), "mem-access");
+    EXPECT_STREQ(eventKindName(EventKind::Commit), "commit");
+}
+
+TEST(TraceCollector, EnableDisable)
+{
+    TraceCollector c;
+    EXPECT_FALSE(c.isEnabled());
+    c.record(InstTrace{});
+    EXPECT_EQ(c.size(), 0u);
+    c.enable();
+    c.record(InstTrace{});
+    EXPECT_EQ(c.size(), 1u);
+    c.clear();
+    EXPECT_EQ(c.size(), 0u);
+}
+
+} // namespace
+} // namespace mcd
