@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/thread_pool.hh"
 #include "core/experiment.hh"
 #include "workloads/workloads.hh"
 
@@ -38,17 +39,22 @@ configFromEnv(DvfsKind model = DvfsKind::XScale)
     return ec;
 }
 
-/** Run the full five-configuration matrix for all 16 benchmarks. */
+/**
+ * Run the full five-configuration matrix for all 16 benchmarks,
+ * fanned across MCD_JOBS worker threads (default: hardware
+ * concurrency; 1 = serial). Output order and results are identical
+ * for every job count.
+ */
 inline std::vector<BenchmarkResults>
 runMatrix(const ExperimentConfig &ec)
 {
-    std::vector<BenchmarkResults> out;
-    ExperimentRunner runner(ec);
-    for (const WorkloadInfo &w : workloads::all()) {
-        std::fprintf(stderr, "  running %s...\n", w.name);
-        out.push_back(runner.runBenchmark(w.name));
-    }
-    return out;
+    std::vector<std::string> names;
+    for (const WorkloadInfo &w : workloads::all())
+        names.emplace_back(w.name);
+    int jobs = static_cast<int>(ThreadPool::jobsFromEnv());
+    std::fprintf(stderr, "  matrix: %zu benchmarks, %d jobs\n",
+                 names.size(), jobs);
+    return mcd::runMatrix(ec, names, jobs, /*progress=*/true);
 }
 
 /**

@@ -8,6 +8,8 @@
 #include <benchmark/benchmark.h>
 
 #include "analysis/analyzer.hh"
+#include "common/thread_pool.hh"
+#include "core/experiment.hh"
 #include "core/processor.hh"
 #include "cpu/bpred.hh"
 #include "isa/executor.hh"
@@ -140,6 +142,32 @@ BM_FullOfflineAnalysis(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FullOfflineAnalysis)->Unit(benchmark::kMillisecond);
+
+/**
+ * The parallel experiment engine on a two-benchmark mini-matrix
+ * (per benchmark: baseline, MCD profile, dyn-1%, dyn-5%, global
+ * search), uncached, at jobs=1 vs jobs=hardware. Tracks the speedup
+ * the thread-pooled runMatrix delivers in the bench trajectory.
+ */
+void
+BM_MatrixMini(benchmark::State &state)
+{
+    int jobs = static_cast<int>(state.range(0));
+    const std::vector<std::string> names{"adpcm", "mst"};
+    ExperimentConfig ec;    // empty cacheDir: caching disabled
+    for (auto _ : state) {
+        auto rows = runMatrix(ec, names, jobs);
+        benchmark::DoNotOptimize(rows.data());
+    }
+    state.counters["jobs"] = jobs;
+}
+BENCHMARK(BM_MatrixMini)
+    ->Arg(1)
+    ->Arg(static_cast<int>(ThreadPool::hardwareJobs()))
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 } // namespace
 

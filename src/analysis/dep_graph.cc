@@ -50,6 +50,10 @@ buildIntervalGraphs(const std::vector<InstTrace> &trace,
         return graphs;
 
     const Tick len = cfg.intervalLength;
+    // Dispatch times are (nearly) monotonic, so the last record bounds
+    // the interval count well enough for a one-shot reservation.
+    graphs.reserve(
+        static_cast<std::size_t>(trace.back().dispatchTime / len) + 2);
     std::size_t pos = 0;
 
     while (pos < trace.size()) {
@@ -66,6 +70,8 @@ buildIntervalGraphs(const std::vector<InstTrace> &trace,
 
         std::unordered_map<std::uint64_t, InstEvents> bySeq;
         bySeq.reserve(pos - first);
+        // Worst case two events (exec + mem) per instruction.
+        g.events.reserve(2 * (pos - first));
 
         auto addEvent = [&](Domain d, Tick s, Tick e,
                             FuClass fu) -> std::int32_t {
@@ -181,6 +187,8 @@ buildIntervalGraphs(const std::vector<InstTrace> &trace,
         // Functional dependences (shared units) and structural
         // dependences (finite queues), per domain, in start order.
         std::vector<std::int32_t> byDomain[numDomains];
+        for (auto &v : byDomain)
+            v.reserve(g.events.size());
         for (std::size_t e = 0; e < g.events.size(); ++e)
             byDomain[domainIndex(g.events[e].domain)].push_back(
                 static_cast<std::int32_t>(e));

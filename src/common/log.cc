@@ -1,9 +1,14 @@
 #include "log.hh"
 
+#include <atomic>
+
 namespace mcd {
 
 namespace {
-bool quietMode = false;
+// Atomic: warn()/inform() are called from experiment-engine worker
+// threads while tests flip quiet mode (stderr itself is locked by the
+// C library per call).
+std::atomic<bool> quietMode{false};
 } // namespace
 
 void

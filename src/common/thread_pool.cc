@@ -1,0 +1,76 @@
+#include "thread_pool.hh"
+
+#include <cstdlib>
+
+namespace mcd {
+
+ThreadPool::ThreadPool(unsigned workers)
+    : numWorkers(workers)
+{
+    threads.reserve(numWorkers);
+    for (unsigned i = 0; i < numWorkers; ++i)
+        threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+bool
+ThreadPool::runPendingTask()
+{
+    std::function<void()> task;
+    {
+        std::lock_guard<std::mutex> lk(mutex);
+        if (queue.empty())
+            return false;
+        task = std::move(queue.front());
+        queue.pop_front();
+    }
+    task();
+    return true;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(mutex);
+            cv.wait(lk, [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return;     // stopping, queue drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task();
+    }
+}
+
+unsigned
+ThreadPool::hardwareJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+unsigned
+ThreadPool::jobsFromEnv(const char *var)
+{
+    if (const char *s = std::getenv(var)) {
+        int n = std::atoi(s);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+    }
+    return hardwareJobs();
+}
+
+} // namespace mcd

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * A small work-queue thread pool for the parallel experiment engine.
+ *
+ * Design notes:
+ *
+ *  - submit() returns a std::future; exceptions thrown by the task
+ *    are captured and rethrown from future::get().
+ *  - wait() is a *helping* wait: while the future is not ready the
+ *    calling thread drains pending tasks from the queue. This makes
+ *    nested submission safe — a task running on a pool worker may
+ *    submit sub-tasks to the same pool and wait() on them without
+ *    ever deadlocking, even with a single worker.
+ *  - A pool constructed with zero workers degenerates to inline
+ *    execution at submit() time, which makes jobs=1 runs take exactly
+ *    the serial code path (useful for bit-identical comparisons).
+ */
+
+#ifndef MCD_COMMON_THREAD_POOL_HH
+#define MCD_COMMON_THREAD_POOL_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mcd {
+
+class ThreadPool
+{
+  public:
+    /** @param workers worker-thread count; 0 = run tasks inline. */
+    explicit ThreadPool(unsigned workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned workerCount() const { return numWorkers; }
+
+    /** Enqueue a callable; its result (or exception) goes to the future. */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        if (numWorkers == 0) {
+            (*task)();
+            return fut;
+        }
+        {
+            std::lock_guard<std::mutex> lk(mutex);
+            queue.emplace_back([task] { (*task)(); });
+        }
+        cv.notify_one();
+        return fut;
+    }
+
+    /**
+     * Run one queued task on the calling thread, if any is pending.
+     * @return true if a task was executed.
+     */
+    bool runPendingTask();
+
+    /**
+     * Helping wait: drain pool work until @p fut is ready, then get it.
+     * Safe to call from inside a pool task (nested waits).
+     */
+    template <typename T>
+    T
+    wait(std::future<T> &fut)
+    {
+        helpUntilReady(fut);
+        return fut.get();
+    }
+
+    /** wait() over a whole batch, in order. */
+    template <typename T>
+    std::vector<T>
+    waitAll(std::vector<std::future<T>> &futs)
+    {
+        std::vector<T> out;
+        out.reserve(futs.size());
+        for (auto &f : futs)
+            out.push_back(wait(f));
+        return out;
+    }
+
+    /**
+     * Run body(i) for i in [0, n) across the pool (the caller helps).
+     * Rethrows the lowest-index exception after all iterations finish.
+     */
+    template <typename F>
+    void
+    parallelFor(std::size_t n, F &&body)
+    {
+        std::vector<std::future<void>> futs;
+        futs.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            futs.push_back(submit([&body, i] { body(i); }));
+        std::exception_ptr first;
+        for (auto &f : futs) {
+            try {
+                wait(f);
+            } catch (...) {
+                if (!first)
+                    first = std::current_exception();
+            }
+        }
+        if (first)
+            std::rethrow_exception(first);
+    }
+
+    /** Hardware concurrency, never less than 1. */
+    static unsigned hardwareJobs();
+
+    /**
+     * Job count from the environment: @p var (default MCD_JOBS) when
+     * set to a positive integer, otherwise hardwareJobs().
+     */
+    static unsigned jobsFromEnv(const char *var = "MCD_JOBS");
+
+  private:
+    template <typename T>
+    void
+    helpUntilReady(std::future<T> &fut)
+    {
+        using namespace std::chrono_literals;
+        while (fut.wait_for(0s) != std::future_status::ready) {
+            // The short timed wait (rather than an unbounded one)
+            // covers the race where our dependency enqueues new work
+            // after we found the queue empty.
+            if (!runPendingTask())
+                fut.wait_for(1ms);
+        }
+    }
+
+    void workerLoop();
+
+    unsigned numWorkers;
+    std::vector<std::thread> threads;
+    std::deque<std::function<void()>> queue;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool stopping = false;
+};
+
+} // namespace mcd
+
+#endif // MCD_COMMON_THREAD_POOL_HH

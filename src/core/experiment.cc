@@ -5,16 +5,25 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <utility>
+
+#include <unistd.h>
 
 #include "common/log.hh"
 #include "workloads/workloads.hh"
 
 namespace mcd {
 
-namespace {
+namespace expcache {
 
-constexpr const char *cacheVersion = "mcd-cache-v1";
+// v2: adds the trailing "end" sentinel so truncated files are always
+// rejected (whitespace-delimited numbers could otherwise parse a
+// shortened final value as valid).
+const char *const version = "mcd-cache-v2";
+
+namespace {
 
 void
 writeRun(std::ostream &os, const char *tag, const RunResult &r)
@@ -53,6 +62,46 @@ readRun(std::istream &is, const char *tag, RunResult &r)
 
 } // namespace
 
+void
+write(std::ostream &os, const BenchmarkResults &r)
+{
+    os << std::setprecision(17);
+    os << version << '\n'
+       << r.globalFrequency << ' ' << r.schedule1Size << ' '
+       << r.schedule5Size << '\n';
+    writeRun(os, "baseline", r.baseline);
+    writeRun(os, "mcd", r.mcdBaseline);
+    writeRun(os, "dyn1", r.dyn1);
+    writeRun(os, "dyn5", r.dyn5);
+    writeRun(os, "global", r.global);
+    os << "end\n";
+}
+
+std::optional<BenchmarkResults>
+read(std::istream &is, const std::string &name)
+{
+    std::string ver;
+    if (!(is >> ver) || ver != version)
+        return std::nullopt;
+    BenchmarkResults r;
+    r.name = name;
+    if (!(is >> r.globalFrequency >> r.schedule1Size >> r.schedule5Size))
+        return std::nullopt;
+    if (!readRun(is, "baseline", r.baseline) ||
+        !readRun(is, "mcd", r.mcdBaseline) ||
+        !readRun(is, "dyn1", r.dyn1) ||
+        !readRun(is, "dyn5", r.dyn5) ||
+        !readRun(is, "global", r.global)) {
+        return std::nullopt;
+    }
+    std::string sentinel;
+    if (!(is >> sentinel) || sentinel != "end")
+        return std::nullopt;    // truncated mid-number or mid-record
+    return r;
+}
+
+} // namespace expcache
+
 ExperimentRunner::ExperimentRunner(ExperimentConfig cfg)
     : config(std::move(cfg))
 {}
@@ -85,50 +134,123 @@ ExperimentRunner::cacheKey(const std::string &name) const
     return buf;
 }
 
-std::optional<BenchmarkResults>
-ExperimentRunner::loadCache(const std::string &name)
+std::string
+ExperimentRunner::cachePath(const std::string &name) const
 {
     if (config.cacheDir.empty())
+        return {};
+    return config.cacheDir + "/" + cacheKey(name) + ".txt";
+}
+
+std::optional<BenchmarkResults>
+ExperimentRunner::loadCache(const std::string &name) const
+{
+    std::string path = cachePath(name);
+    if (path.empty())
         return std::nullopt;
-    std::ifstream in(config.cacheDir + "/" + cacheKey(name) + ".txt");
+    std::ifstream in(path);
     if (!in)
         return std::nullopt;
-    std::string ver;
-    if (!(in >> ver) || ver != cacheVersion)
-        return std::nullopt;
-    BenchmarkResults r;
-    r.name = name;
-    if (!(in >> r.globalFrequency >> r.schedule1Size >> r.schedule5Size))
-        return std::nullopt;
-    if (!readRun(in, "baseline", r.baseline) ||
-        !readRun(in, "mcd", r.mcdBaseline) ||
-        !readRun(in, "dyn1", r.dyn1) ||
-        !readRun(in, "dyn5", r.dyn5) ||
-        !readRun(in, "global", r.global)) {
-        return std::nullopt;
-    }
-    return r;
+    return expcache::read(in, name);
 }
 
 void
-ExperimentRunner::storeCache(const BenchmarkResults &r)
+ExperimentRunner::storeCache(const BenchmarkResults &r) const
 {
-    if (config.cacheDir.empty())
+    std::string path = cachePath(r.name);
+    if (path.empty())
         return;
     std::error_code ec;
     std::filesystem::create_directories(config.cacheDir, ec);
-    std::ofstream out(config.cacheDir + "/" + cacheKey(r.name) + ".txt");
-    if (!out)
-        return;
-    out << std::setprecision(17);
-    out << cacheVersion << '\n'
-        << r.globalFrequency << ' ' << r.schedule1Size << ' '
-        << r.schedule5Size << '\n';
-    writeRun(out, "baseline", r.baseline);
-    writeRun(out, "mcd", r.mcdBaseline);
-    writeRun(out, "dyn1", r.dyn1);
-    writeRun(out, "dyn5", r.dyn5);
-    writeRun(out, "global", r.global);
+
+    // Write to a temporary and rename into place so a concurrently
+    // running bench binary can never observe a torn cache file. The
+    // pid suffix keeps two processes racing on the same key from
+    // interleaving writes within one temporary.
+    std::string tmp = path + ".tmp" + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            return;
+        expcache::write(out, r);
+        if (!out) {
+            out.close();
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+}
+
+RunResult
+ExperimentRunner::profileLeg(const Program &prog,
+                             std::vector<InstTrace> &trace_out) const
+{
+    // Baseline MCD (all domains statically at 1 GHz); doubles as the
+    // profiling run for the offline tool.
+    SimConfig profCfg = makeSimConfig(ClockingStyle::Mcd);
+    profCfg.collectTrace = true;
+    McdProcessor prof(profCfg, prog);
+    RunResult r = prof.run();
+    trace_out = prof.takeTrace();
+    return r;
+}
+
+ExperimentRunner::DynLeg
+ExperimentRunner::dynamicLeg(const Program &prog,
+                             const std::vector<InstTrace> &trace,
+                             double target_dilation) const
+{
+    OfflineAnalyzer analyzer(OfflineAnalyzer::configFor(
+        target_dilation, config.model, config.dvfsTimeScale));
+    AnalysisResult analysis = analyzer.analyze(trace);
+    SimConfig dynCfg = makeSimConfig(ClockingStyle::Mcd);
+    dynCfg.dvfs = config.model;
+    dynCfg.dvfsTimeScale = config.dvfsTimeScale;
+    dynCfg.schedule = &analysis.schedule;
+    DynLeg leg;
+    leg.result = runOnce(prog, dynCfg);
+    leg.scheduleSize = analysis.schedule.size();
+    return leg;
+}
+
+void
+ExperimentRunner::globalLeg(const Program &prog, BenchmarkResults &r) const
+{
+    // Global voltage scaling: single clock at the table frequency
+    // whose degradation best matches dynamic-5% (paper Section 4).
+    double target = r.perfDegradation(r.dyn5);
+    DvfsTable table;
+    int lo = 0;
+    int hi = table.numPoints() - 1;
+    // Degradation decreases monotonically with frequency: find the
+    // slowest point whose degradation does not exceed the target.
+    RunResult bestRun;
+    Hertz bestFreq = table.fastest().frequency;
+    double bestDist = 1e300;
+    while (lo <= hi) {
+        int mid = (lo + hi) / 2;
+        Hertz f = table.point(mid).frequency;
+        SimConfig sc = makeSimConfig(ClockingStyle::SingleClock);
+        sc.domainFrequency = {f, f, f, f};
+        sc.mem.dramScalesWithClock = true;
+        RunResult res = runOnce(prog, sc);
+        double deg = r.perfDegradation(res);
+        double dist = std::fabs(deg - target);
+        if (dist < bestDist) {
+            bestDist = dist;
+            bestRun = res;
+            bestFreq = f;
+        }
+        if (deg > target)
+            lo = mid + 1;   // too slow; raise frequency
+        else
+            hi = mid - 1;   // within target; try slower
+    }
+    r.global = bestRun;
+    r.globalFrequency = bestFreq;
 }
 
 ExperimentRunner::DynamicRun
@@ -162,80 +284,99 @@ ExperimentRunner::runDynamic(const std::string &name,
 BenchmarkResults
 ExperimentRunner::runBenchmark(const std::string &name)
 {
+    // A zero-worker pool executes every leg inline at submission, in
+    // the same order as the historical serial code.
+    ThreadPool inlinePool(0);
+    return runBenchmark(name, inlinePool);
+}
+
+BenchmarkResults
+ExperimentRunner::runBenchmark(const std::string &name, ThreadPool &pool)
+{
     if (auto cached = loadCache(name))
         return *cached;
 
     BenchmarkResults r;
     r.name = name;
 
-    Program prog = workloads::build(name, config.scale);
+    const Program prog = workloads::build(name, config.scale);
 
-    // 1. Singly clocked baseline.
-    r.baseline = runOnce(prog, makeSimConfig(ClockingStyle::SingleClock));
+    // Leg 1 — singly clocked baseline — is independent of everything
+    // else; run it concurrently with the profiling leg.
+    auto baseFut = pool.submit([this, &prog] {
+        return runOnce(prog, makeSimConfig(ClockingStyle::SingleClock));
+    });
 
-    // 2. Baseline MCD (all domains statically at 1 GHz); this is also
-    //    the profiling run for the offline tool.
-    SimConfig profCfg = makeSimConfig(ClockingStyle::Mcd);
-    profCfg.collectTrace = true;
-    McdProcessor prof(profCfg, prog);
-    r.mcdBaseline = prof.run();
-    const std::vector<InstTrace> &trace = prof.trace().trace();
+    // Leg 2 — baseline MCD / profiling run (produces the trace).
+    std::vector<InstTrace> trace;
+    auto profFut = pool.submit([this, &prog, &trace] {
+        return profileLeg(prog, trace);
+    });
+    r.mcdBaseline = pool.wait(profFut);
 
-    // 3. Dynamic configurations.
-    for (int which = 0; which < 2; ++which) {
-        double d = which ? config.dilationHigh : config.dilationLow;
-        OfflineAnalyzer analyzer(OfflineAnalyzer::configFor(
-            d, config.model, config.dvfsTimeScale));
-        AnalysisResult analysis = analyzer.analyze(trace);
-        SimConfig dynCfg = makeSimConfig(ClockingStyle::Mcd);
-        dynCfg.dvfs = config.model;
-        dynCfg.dvfsTimeScale = config.dvfsTimeScale;
-        dynCfg.schedule = &analysis.schedule;
-        RunResult res = runOnce(prog, dynCfg);
-        if (which) {
-            r.dyn5 = res;
-            r.schedule5Size = analysis.schedule.size();
-        } else {
-            r.dyn1 = res;
-            r.schedule1Size = analysis.schedule.size();
-        }
-    }
+    // Legs 3a/3b — the two dynamic configurations analyze and
+    // simulate independently off the shared (now read-only) trace.
+    auto dyn1Fut = pool.submit([this, &prog, &trace] {
+        return dynamicLeg(prog, trace, config.dilationLow);
+    });
+    auto dyn5Fut = pool.submit([this, &prog, &trace] {
+        return dynamicLeg(prog, trace, config.dilationHigh);
+    });
+    DynLeg d1 = pool.wait(dyn1Fut);
+    DynLeg d5 = pool.wait(dyn5Fut);
+    r.dyn1 = d1.result;
+    r.schedule1Size = d1.scheduleSize;
+    r.dyn5 = d5.result;
+    r.schedule5Size = d5.scheduleSize;
 
-    // 4. Global voltage scaling: single clock at the table frequency
-    //    whose degradation best matches dynamic-5% (paper Section 4).
-    double target = r.perfDegradation(r.dyn5);
-    DvfsTable table;
-    int lo = 0;
-    int hi = table.numPoints() - 1;
-    // Degradation decreases monotonically with frequency: find the
-    // slowest point whose degradation does not exceed the target.
-    RunResult bestRun;
-    Hertz bestFreq = table.fastest().frequency;
-    double bestDist = 1e300;
-    while (lo <= hi) {
-        int mid = (lo + hi) / 2;
-        Hertz f = table.point(mid).frequency;
-        SimConfig sc = makeSimConfig(ClockingStyle::SingleClock);
-        sc.domainFrequency = {f, f, f, f};
-        sc.mem.dramScalesWithClock = true;
-        RunResult res = runOnce(prog, sc);
-        double deg = r.perfDegradation(res);
-        double dist = std::fabs(deg - target);
-        if (dist < bestDist) {
-            bestDist = dist;
-            bestRun = res;
-            bestFreq = f;
-        }
-        if (deg > target)
-            lo = mid + 1;   // too slow; raise frequency
-        else
-            hi = mid - 1;   // within target; try slower
-    }
-    r.global = bestRun;
-    r.globalFrequency = bestFreq;
+    // Leg 4 — the global binary search needs baseline + dynamic-5%.
+    r.baseline = pool.wait(baseFut);
+    globalLeg(prog, r);
 
     storeCache(r);
     return r;
+}
+
+std::vector<BenchmarkResults>
+runMatrix(const ExperimentConfig &cfg,
+          const std::vector<std::string> &names, int jobs, bool progress)
+{
+    // Touch the shared workload table once before any worker does, so
+    // its (already thread-safe) lazy construction never races.
+    workloads::all();
+
+    std::vector<BenchmarkResults> out(names.size());
+    ExperimentRunner runner(cfg);
+
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (progress)
+                std::fprintf(stderr, "  running %s...\n",
+                             names[i].c_str());
+            out[i] = runner.runBenchmark(names[i]);
+        }
+        return out;
+    }
+
+    ThreadPool pool(static_cast<unsigned>(jobs));
+    std::mutex progressMutex;
+    std::vector<std::future<BenchmarkResults>> futs;
+    futs.reserve(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        futs.push_back(pool.submit(
+            [&runner, &pool, &names, &progressMutex, progress, i] {
+                if (progress) {
+                    std::lock_guard<std::mutex> lk(progressMutex);
+                    std::fprintf(stderr, "  running %s...\n",
+                                 names[i].c_str());
+                }
+                return runner.runBenchmark(names[i], pool);
+            }));
+    }
+    // Collect in workload order, independent of completion order.
+    for (std::size_t i = 0; i < names.size(); ++i)
+        out[i] = pool.wait(futs[i]);
+    return out;
 }
 
 } // namespace mcd

@@ -20,10 +20,13 @@
 #ifndef MCD_CORE_EXPERIMENT_HH
 #define MCD_CORE_EXPERIMENT_HH
 
+#include <iosfwd>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "analysis/analyzer.hh"
+#include "common/thread_pool.hh"
 #include "core/processor.hh"
 #include "core/sim_config.hh"
 
@@ -83,7 +86,33 @@ struct BenchmarkResults
 };
 
 /**
+ * Cache-file serialization for BenchmarkResults (exposed so the cache
+ * format itself is testable without running simulations).
+ */
+namespace expcache {
+
+/** The version string rejected-on-mismatch when reading. */
+extern const char *const version;
+
+/** Serialize @p r (including the version header). */
+void write(std::ostream &os, const BenchmarkResults &r);
+
+/**
+ * Deserialize one BenchmarkResults; returns nullopt on a version
+ * mismatch, truncation, or any other malformed content.
+ */
+std::optional<BenchmarkResults> read(std::istream &is,
+                                     const std::string &name);
+
+} // namespace expcache
+
+/**
  * Runs experiment matrices, with optional on-disk caching.
+ *
+ * Thread safety: one runner may be used from many threads at once —
+ * the configuration is immutable after construction and cache files
+ * are published atomically (write-to-temp + rename), so concurrent
+ * runBenchmark() calls for distinct benchmarks never interfere.
  */
 class ExperimentRunner
 {
@@ -92,6 +121,22 @@ class ExperimentRunner
 
     /** Run (or load from cache) the full matrix for one benchmark. */
     BenchmarkResults runBenchmark(const std::string &name);
+
+    /**
+     * Same matrix, with the independent legs fanned out on @p pool as
+     * a small task graph: the baseline and the MCD profiling run
+     * execute in parallel; then the dynamic-1% and dynamic-5%
+     * analyze+simulate legs run concurrently off the shared trace;
+     * the global binary search (which needs baseline + dynamic-5%)
+     * runs last. Every leg simulates an independently constructed,
+     * per-run-seeded processor, so the results are bit-identical to
+     * the serial runBenchmark() overload.
+     */
+    BenchmarkResults runBenchmark(const std::string &name,
+                                  ThreadPool &pool);
+
+    /** Cache file path for @p name (empty when caching is disabled). */
+    std::string cachePath(const std::string &name) const;
 
     /**
      * Run only the pieces needed for a dynamic configuration:
@@ -109,14 +154,41 @@ class ExperimentRunner
     const ExperimentConfig &cfg() const { return config; }
 
   private:
+    /** Result of one dynamic (analyze + simulate) leg. */
+    struct DynLeg
+    {
+        RunResult result;
+        std::size_t scheduleSize = 0;
+    };
+
     SimConfig makeSimConfig(ClockingStyle style) const;
     RunResult runOnce(const Program &prog, const SimConfig &sc) const;
+    RunResult profileLeg(const Program &prog,
+                         std::vector<InstTrace> &trace_out) const;
+    DynLeg dynamicLeg(const Program &prog,
+                      const std::vector<InstTrace> &trace,
+                      double target_dilation) const;
+    void globalLeg(const Program &prog, BenchmarkResults &r) const;
     std::string cacheKey(const std::string &name) const;
-    std::optional<BenchmarkResults> loadCache(const std::string &name);
-    void storeCache(const BenchmarkResults &r);
+    std::optional<BenchmarkResults> loadCache(const std::string &name) const;
+    void storeCache(const BenchmarkResults &r) const;
 
     ExperimentConfig config;
 };
+
+/**
+ * Run the matrix for a list of benchmarks across @p jobs concurrent
+ * workers (jobs <= 1 runs strictly serially, inline). Each benchmark
+ * additionally fans its independent legs onto the same pool. Results
+ * are returned in the order of @p names regardless of completion
+ * order, and are bit-identical for every jobs value.
+ *
+ * @param progress print a per-benchmark progress line to stderr
+ */
+std::vector<BenchmarkResults>
+runMatrix(const ExperimentConfig &cfg,
+          const std::vector<std::string> &names, int jobs,
+          bool progress = false);
 
 } // namespace mcd
 

@@ -43,6 +43,21 @@ McdProcessor::McdProcessor(const SimConfig &config, const Program &program)
             clocks[0], clocks[1], clocks[2], clocks[3]});
 
     collector.enable(cfg.collectTrace);
+    if (cfg.collectTrace) {
+        // Pre-size the event trace so profiling runs do not pay
+        // repeated mid-run reallocations (the records are ~100 bytes
+        // each and the kernels commit 100K+ instructions). With no
+        // explicit cap, estimate the dynamic length from the static
+        // program size; clamped so a pathological ratio cannot
+        // balloon the reservation.
+        std::size_t hint = cfg.maxInstructions;
+        if (!hint) {
+            hint = std::clamp<std::size_t>(prog.textSize() * 1024,
+                                           std::size_t{1} << 16,
+                                           std::size_t{1} << 22);
+        }
+        collector.reserve(hint);
+    }
 
     pipe = std::make_unique<Pipeline>(
         cfg.core, oracle, *memory, clocks, cfg.syncFraction,
@@ -125,16 +140,34 @@ McdProcessor::run()
         maxFreq[di] = std::max(maxFreq[di], f);
     };
 
+    // Cached next-edge times for the MCD event loop. One iteration
+    // only ever moves the clock it advances (DVFS updates and the
+    // schedule touch just the ticked domain), so instead of chasing
+    // all four ClockDomain pointers every iteration we mirror the
+    // pending-edge times in a local array and re-reduce over that.
+    std::array<Tick, numDomains> nextEdgeCache{};
+    int minClock = 0;
+    if (mcd) {
+        for (int d = 0; d < numDomains; ++d)
+            nextEdgeCache[d] = ownedClocks[d]->peekNextEdge();
+        for (int d = 1; d < numDomains; ++d) {
+            if (nextEdgeCache[d] < nextEdgeCache[minClock])
+                minClock = d;
+        }
+    }
+
     while (!stop()) {
         if (mcd) {
             // Advance the clock with the earliest pending edge.
-            ClockDomain *next = ownedClocks[0].get();
-            for (auto &c : ownedClocks) {
-                if (c->peekNextEdge() < next->peekNextEdge())
-                    next = c.get();
-            }
+            ClockDomain *next = ownedClocks[minClock].get();
             Tick t = next->advance();
             tickOne(next->id(), t);
+            nextEdgeCache[minClock] = next->peekNextEdge();
+            minClock = 0;
+            for (int d = 1; d < numDomains; ++d) {
+                if (nextEdgeCache[d] < nextEdgeCache[minClock])
+                    minClock = d;
+            }
         } else {
             Tick t = ownedClocks[0]->advance();
             // One global clock: all four logical domains tick in

@@ -41,6 +41,9 @@ class McdProcessor
     /** The primitive-event trace (after a run with collectTrace). */
     const TraceCollector &trace() const { return collector; }
 
+    /** Move the collected trace out (for use past this object's life). */
+    std::vector<InstTrace> takeTrace() { return collector.take(); }
+
     /** The DVFS operating-point table in use. */
     const DvfsTable &dvfsTable() const { return opTable; }
 

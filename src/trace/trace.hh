@@ -92,9 +92,16 @@ class TraceCollector
     }
 
     const std::vector<InstTrace> &trace() const { return records; }
+
+    /** Move the records out (the collector is left empty). Lets the
+     *  experiment engine keep a profiling trace alive after the
+     *  processor that produced it is destroyed, without a copy. */
+    std::vector<InstTrace> take() { return std::move(records); }
+
     std::size_t size() const { return records.size(); }
     void clear() { records.clear(); }
     void reserve(std::size_t n) { records.reserve(n); }
+    std::size_t capacity() const { return records.capacity(); }
 
   private:
     bool enabled = false;

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the experiment results cache layer: serialization
+ * round-trip, rejection of truncated / version-mismatched files
+ * (silent fallback, never a crash), and atomic publication.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+namespace mcd {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A fully populated synthetic result (no simulation needed). */
+BenchmarkResults
+synthetic()
+{
+    BenchmarkResults r;
+    r.name = "synthetic";
+    r.globalFrequency = 625e6;
+    r.schedule1Size = 42;
+    r.schedule5Size = 137;
+    RunResult *runs[5] = {&r.baseline, &r.mcdBaseline, &r.dyn1,
+                          &r.dyn5, &r.global};
+    double x = 1.0;
+    for (RunResult *run : runs) {
+        run->execTime = static_cast<Tick>(217434567 * x);
+        run->committed = static_cast<std::uint64_t>(119000 * x);
+        run->ipc = 0.6180339887498949 * x;
+        run->totalEnergy = 1.4142135623730951e-3 * x;
+        run->energyDelay = run->totalEnergy * 2.1743e-4 * x;
+        for (int d = 0; d < numDomains; ++d) {
+            DomainSummary &s = run->domains[d];
+            s.cycles = 217000 + 1000 * d;
+            s.energy = 3.3e-4 * x + d;
+            s.avgFrequency = 8.7654321e8 - 1e7 * d;
+            s.minFrequency = 2.5e8;
+            s.maxFrequency = 1e9;
+            s.reconfigurations = 17 + d;
+        }
+        x *= 1.0625;
+    }
+    return r;
+}
+
+void
+expectEqual(const BenchmarkResults &a, const BenchmarkResults &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.globalFrequency, b.globalFrequency);
+    EXPECT_EQ(a.schedule1Size, b.schedule1Size);
+    EXPECT_EQ(a.schedule5Size, b.schedule5Size);
+    const RunResult *ra[5] = {&a.baseline, &a.mcdBaseline, &a.dyn1,
+                              &a.dyn5, &a.global};
+    const RunResult *rb[5] = {&b.baseline, &b.mcdBaseline, &b.dyn1,
+                              &b.dyn5, &b.global};
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(ra[i]->execTime, rb[i]->execTime);
+        EXPECT_EQ(ra[i]->committed, rb[i]->committed);
+        EXPECT_EQ(ra[i]->ipc, rb[i]->ipc);
+        EXPECT_EQ(ra[i]->totalEnergy, rb[i]->totalEnergy);
+        EXPECT_EQ(ra[i]->energyDelay, rb[i]->energyDelay);
+        for (int d = 0; d < numDomains; ++d) {
+            EXPECT_EQ(ra[i]->domains[d].cycles, rb[i]->domains[d].cycles);
+            EXPECT_EQ(ra[i]->domains[d].energy, rb[i]->domains[d].energy);
+            EXPECT_EQ(ra[i]->domains[d].avgFrequency,
+                      rb[i]->domains[d].avgFrequency);
+            EXPECT_EQ(ra[i]->domains[d].minFrequency,
+                      rb[i]->domains[d].minFrequency);
+            EXPECT_EQ(ra[i]->domains[d].maxFrequency,
+                      rb[i]->domains[d].maxFrequency);
+            EXPECT_EQ(ra[i]->domains[d].reconfigurations,
+                      rb[i]->domains[d].reconfigurations);
+        }
+    }
+}
+
+TEST(ExperimentCache, WriteReadRoundTripInMemory)
+{
+    BenchmarkResults r = synthetic();
+    std::stringstream ss;
+    expcache::write(ss, r);
+    auto back = expcache::read(ss, "synthetic");
+    ASSERT_TRUE(back.has_value());
+    expectEqual(r, *back);
+}
+
+TEST(ExperimentCache, WriteReadRoundTripThroughTempDir)
+{
+    fs::path dir = fs::temp_directory_path() / "mcd-cacheio-test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    fs::path file = dir / "synthetic.txt";
+
+    BenchmarkResults r = synthetic();
+    {
+        std::ofstream out(file);
+        expcache::write(out, r);
+    }
+    std::ifstream in(file);
+    auto back = expcache::read(in, "synthetic");
+    ASSERT_TRUE(back.has_value());
+    expectEqual(r, *back);
+    fs::remove_all(dir);
+}
+
+TEST(ExperimentCache, RejectsVersionMismatch)
+{
+    std::stringstream ss;
+    expcache::write(ss, synthetic());
+    std::string text = ss.str();
+    // Bump the version header and nothing else.
+    std::string ver = expcache::version;
+    std::string bumped = text;
+    bumped.replace(bumped.find(ver), ver.size(), "mcd-cache-v0");
+    std::istringstream in(bumped);
+    EXPECT_FALSE(expcache::read(in, "synthetic").has_value());
+}
+
+TEST(ExperimentCache, RejectsTruncation)
+{
+    std::stringstream ss;
+    expcache::write(ss, synthetic());
+    std::string text = ss.str();
+    // Any prefix that loses content must be rejected, from the empty
+    // file to one cut inside the trailing sentinel. (Only trailing
+    // whitespace may be dropped harmlessly.)
+    for (std::size_t len : {std::size_t{0}, text.size() / 4,
+                            text.size() / 2, text.size() - 2}) {
+        std::istringstream in(text.substr(0, len));
+        EXPECT_FALSE(expcache::read(in, "synthetic").has_value())
+            << "accepted truncated prefix of " << len << " bytes";
+    }
+}
+
+TEST(ExperimentCache, RejectsGarbage)
+{
+    std::istringstream in("not a cache file at all\n1 2 3\n");
+    EXPECT_FALSE(expcache::read(in, "x").has_value());
+}
+
+TEST(ExperimentCache, CorruptFileFallsBackToRecompute)
+{
+    fs::path dir = fs::temp_directory_path() / "mcd-cache-corrupt";
+    fs::remove_all(dir);
+
+    ExperimentConfig ec;
+    ec.cacheDir = dir.string();
+    ExperimentRunner runner(ec);
+
+    // Plant a torn/corrupt file exactly where the cache would look.
+    fs::create_directories(dir);
+    std::string path = runner.cachePath("mst");
+    ASSERT_FALSE(path.empty());
+    {
+        std::ofstream out(path);
+        out << expcache::version << "\n6.25e+08 42";     // truncated
+    }
+
+    // Must silently recompute (no crash), then overwrite the corrupt
+    // file with a complete one that a fresh runner loads.
+    BenchmarkResults fresh = runner.runBenchmark("mst");
+    EXPECT_GT(fresh.baseline.committed, 0u);
+
+    ExperimentRunner again(ec);
+    BenchmarkResults cached = again.runBenchmark("mst");
+    expectEqual(fresh, cached);
+
+    // Atomic publication: only the final .txt may exist, no leftover
+    // temporaries.
+    for (const auto &e : fs::directory_iterator(dir))
+        EXPECT_EQ(e.path().extension(), ".txt") << e.path();
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace mcd

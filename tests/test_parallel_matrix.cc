@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Determinism tests for the parallel experiment engine: a matrix run
+ * fanned across worker threads must be bit-identical — struct fields
+ * and cache-file bytes — to the strictly serial run.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+namespace mcd {
+namespace {
+
+namespace fs = std::filesystem;
+
+void
+expectRunsIdentical(const RunResult &a, const RunResult &b,
+                    const char *what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.execTime, b.execTime);
+    EXPECT_EQ(a.committed, b.committed);
+    EXPECT_EQ(a.ipc, b.ipc);                    // exact, not near
+    EXPECT_EQ(a.totalEnergy, b.totalEnergy);
+    EXPECT_EQ(a.energyDelay, b.energyDelay);
+    for (int d = 0; d < numDomains; ++d) {
+        EXPECT_EQ(a.domains[d].cycles, b.domains[d].cycles);
+        EXPECT_EQ(a.domains[d].energy, b.domains[d].energy);
+        EXPECT_EQ(a.domains[d].avgFrequency, b.domains[d].avgFrequency);
+        EXPECT_EQ(a.domains[d].minFrequency, b.domains[d].minFrequency);
+        EXPECT_EQ(a.domains[d].maxFrequency, b.domains[d].maxFrequency);
+        EXPECT_EQ(a.domains[d].reconfigurations,
+                  b.domains[d].reconfigurations);
+    }
+}
+
+std::string
+slurp(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(ParallelMatrix, ParallelRunBitIdenticalToSerial)
+{
+    const std::vector<std::string> names{"adpcm", "mst"};
+
+    fs::path serialDir = fs::temp_directory_path() / "mcd-par-serial";
+    fs::path parDir = fs::temp_directory_path() / "mcd-par-jobs4";
+    fs::remove_all(serialDir);
+    fs::remove_all(parDir);
+
+    ExperimentConfig ecSerial;
+    ecSerial.cacheDir = serialDir.string();
+    auto serial = runMatrix(ecSerial, names, /*jobs=*/1);
+
+    ExperimentConfig ecPar = ecSerial;
+    ecPar.cacheDir = parDir.string();
+    auto par = runMatrix(ecPar, names, /*jobs=*/4);
+
+    ASSERT_EQ(serial.size(), names.size());
+    ASSERT_EQ(par.size(), names.size());
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        SCOPED_TRACE(names[i]);
+        EXPECT_EQ(serial[i].name, names[i]);    // workload order kept
+        EXPECT_EQ(par[i].name, names[i]);
+        expectRunsIdentical(serial[i].baseline, par[i].baseline,
+                            "baseline");
+        expectRunsIdentical(serial[i].mcdBaseline, par[i].mcdBaseline,
+                            "mcdBaseline");
+        expectRunsIdentical(serial[i].dyn1, par[i].dyn1, "dyn1");
+        expectRunsIdentical(serial[i].dyn5, par[i].dyn5, "dyn5");
+        expectRunsIdentical(serial[i].global, par[i].global, "global");
+        EXPECT_EQ(serial[i].globalFrequency, par[i].globalFrequency);
+        EXPECT_EQ(serial[i].schedule1Size, par[i].schedule1Size);
+        EXPECT_EQ(serial[i].schedule5Size, par[i].schedule5Size);
+    }
+
+    // The cache files written by the two runs must match byte for
+    // byte, and no temporary files may be left behind.
+    ExperimentRunner keyOracle(ecSerial);
+    for (const std::string &n : names) {
+        SCOPED_TRACE(n);
+        fs::path rel =
+            fs::path(keyOracle.cachePath(n)).filename();
+        std::string a = slurp(serialDir / rel);
+        std::string b = slurp(parDir / rel);
+        ASSERT_FALSE(a.empty());
+        EXPECT_EQ(a, b);
+    }
+    for (const fs::path &dir : {serialDir, parDir}) {
+        for (const auto &e : fs::directory_iterator(dir))
+            EXPECT_EQ(e.path().extension(), ".txt") << e.path();
+    }
+
+    fs::remove_all(serialDir);
+    fs::remove_all(parDir);
+}
+
+TEST(ParallelMatrix, TaskGraphBenchmarkMatchesSerialBenchmark)
+{
+    // One benchmark through the leg-level task graph (shared pool)
+    // vs. the plain serial entry point, no caching.
+    ExperimentConfig ec;
+    ExperimentRunner runner(ec);
+    BenchmarkResults serial = runner.runBenchmark("adpcm");
+
+    ThreadPool pool(3);
+    BenchmarkResults par = runner.runBenchmark("adpcm", pool);
+
+    expectRunsIdentical(serial.baseline, par.baseline, "baseline");
+    expectRunsIdentical(serial.mcdBaseline, par.mcdBaseline,
+                        "mcdBaseline");
+    expectRunsIdentical(serial.dyn1, par.dyn1, "dyn1");
+    expectRunsIdentical(serial.dyn5, par.dyn5, "dyn5");
+    expectRunsIdentical(serial.global, par.global, "global");
+    EXPECT_EQ(serial.globalFrequency, par.globalFrequency);
+    EXPECT_EQ(serial.schedule1Size, par.schedule1Size);
+    EXPECT_EQ(serial.schedule5Size, par.schedule5Size);
+}
+
+} // namespace
+} // namespace mcd
