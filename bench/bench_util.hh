@@ -58,8 +58,10 @@ runMatrix(const ExperimentConfig &ec)
 }
 
 /**
- * Print one paper-style figure: a metric for the four non-baseline
- * configurations per benchmark plus the average row.
+ * Print one paper-style figure: a metric for the five non-baseline
+ * configurations per benchmark plus the average row. The "online"
+ * column (queue-driven attack/decay controller) extends the paper's
+ * four with the practical control loop the oracle columns bound.
  */
 inline void
 printFigure(const char *title,
@@ -70,13 +72,14 @@ printFigure(const char *title,
     std::printf("%s\n\n", title);
     TextTable t;
     t.header({"benchmark", "baseline MCD", "dynamic-1%", "dynamic-5%",
-              "global"});
-    double sum[4] = {};
+              "global", "online"});
+    constexpr int numCfgs = 5;
+    double sum[numCfgs] = {};
     for (const BenchmarkResults &r : rows) {
-        const RunResult *cfgs[4] = {&r.mcdBaseline, &r.dyn1, &r.dyn5,
-                                    &r.global};
+        const RunResult *cfgs[numCfgs] = {&r.mcdBaseline, &r.dyn1,
+                                          &r.dyn5, &r.global, &r.online};
         std::vector<std::string> cells{r.name};
-        for (int i = 0; i < 4; ++i) {
+        for (int i = 0; i < numCfgs; ++i) {
             double v = metric(r, *cfgs[i]);
             sum[i] += v;
             cells.push_back(formatPercent(v));

@@ -15,6 +15,7 @@
 
 #include "analysis/analyzer.hh"
 #include "common/stats.hh"
+#include "control/controller.hh"
 #include "core/processor.hh"
 #include "workloads/workloads.hh"
 
@@ -26,8 +27,16 @@ main(int argc, char **argv)
     std::string bench = argc > 1 ? argv[1] : "art";
     double dilation = argc > 2 ? std::atof(argv[2]) / 100.0 : 0.05;
     DvfsKind model = DvfsKind::XScale;
-    if (argc > 3 && std::string(argv[3]) == "transmeta")
-        model = DvfsKind::Transmeta;
+    if (argc > 3) {
+        if (auto k = dvfsKindFromName(argv[3])) {
+            model = *k;
+        } else {
+            std::fprintf(stderr, "unknown DVFS model '%s' "
+                         "(expected xscale, transmeta, or none)\n",
+                         argv[3]);
+            return 1;
+        }
+    }
     const double timeScale = 0.2;
 
     Program prog = workloads::build(bench, 1);
@@ -70,14 +79,18 @@ main(int argc, char **argv)
     std::fputs(log.empty() ? "      (no reconfigurations)\n"
                            : log.c_str(), stdout);
 
-    // Step 3: the dynamic run consuming the schedule.
+    // Step 3: the dynamic run consuming the schedule, replayed
+    // through the control plane: a ScheduleController plugged into
+    // SimConfig::controller (equivalent to setting
+    // SimConfig::schedule, which wraps one internally).
     std::printf("\n[3/3] Dynamic run (%s transitions)...\n",
                 dvfsKindName(model));
+    ScheduleController ctrl(analysis.schedule);
     SimConfig dynCfg;
     dynCfg.clocking = ClockingStyle::Mcd;
     dynCfg.dvfs = model;
     dynCfg.dvfsTimeScale = timeScale;
-    dynCfg.schedule = &analysis.schedule;
+    dynCfg.controller = &ctrl;
     McdProcessor dyn(dynCfg, prog);
     RunResult r = dyn.run();
 

@@ -1,6 +1,7 @@
 #include "dvfs.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 
 #include "common/log.hh"
@@ -16,6 +17,28 @@ dvfsKindName(DvfsKind kind)
       case DvfsKind::XScale: return "XScale";
     }
     return "?";
+}
+
+std::optional<DvfsKind>
+dvfsKindFromName(std::string_view name)
+{
+    auto equals = [](std::string_view a, std::string_view b) {
+        if (a.size() != b.size())
+            return false;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            if (std::tolower(static_cast<unsigned char>(a[i])) !=
+                std::tolower(static_cast<unsigned char>(b[i]))) {
+                return false;
+            }
+        }
+        return true;
+    };
+    for (DvfsKind k : {DvfsKind::None, DvfsKind::Transmeta,
+                       DvfsKind::XScale}) {
+        if (equals(name, dvfsKindName(k)))
+            return k;
+    }
+    return std::nullopt;
 }
 
 DvfsParams

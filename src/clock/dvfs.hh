@@ -29,6 +29,8 @@
 #define MCD_CLOCK_DVFS_HH
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "clock/clock_domain.hh"
@@ -46,6 +48,13 @@ enum class DvfsKind : std::uint8_t {
 };
 
 const char *dvfsKindName(DvfsKind kind);
+
+/**
+ * Parse a model name back to its kind (round-trip of dvfsKindName,
+ * case-insensitive). Returns nullopt for unknown names, so CLI/env
+ * selection can reject typos instead of silently defaulting.
+ */
+std::optional<DvfsKind> dvfsKindFromName(std::string_view name);
 
 /** Transition-timing parameters for one DVFS technology. */
 struct DvfsParams

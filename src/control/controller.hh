@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The pluggable DVFS control plane.
+ *
+ * A DvfsController is the policy half of dynamic frequency/voltage
+ * scaling: the simulator (McdProcessor) calls observe() with a
+ * per-domain utilization snapshot at domain-clock edges and then
+ * drains requests(), forwarding each request to the matching domain's
+ * DomainDvfs transition engine. The controller never touches the
+ * hardware model directly, so new policies — offline schedules,
+ * static pins, online feedback loops, learned or coordinated
+ * policies — need no processor changes.
+ *
+ * Controllers are stateful and single-run: construct one per
+ * simulated processor run.
+ */
+
+#ifndef MCD_CONTROL_CONTROLLER_HH
+#define MCD_CONTROL_CONTROLLER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/schedule.hh"
+#include "common/types.hh"
+
+namespace mcd {
+
+/**
+ * One domain-edge observation: the windowed occupancy of the domain's
+ * primary instruction queue (ROB for the front end, issue queues for
+ * the execution domains, LSQ for load/store) since the previous
+ * observation of the same domain, plus instantaneous state.
+ */
+struct DomainStats
+{
+    Domain domain = Domain::Integer;
+    std::uint64_t windowCycles = 0;     //!< domain edges in the window
+    std::uint64_t occupancySum = 0;     //!< Σ queue entries per edge
+    std::size_t queueLength = 0;        //!< instantaneous entries
+    int queueCapacity = 0;
+    Hertz frequency = 0.0;              //!< current domain frequency
+
+    /** Mean queue-fill fraction [0, 1] over the window. */
+    double
+    meanOccupancy() const
+    {
+        if (!windowCycles || queueCapacity <= 0)
+            return 0.0;
+        return static_cast<double>(occupancySum) /
+            (static_cast<double>(windowCycles) *
+             static_cast<double>(queueCapacity));
+    }
+};
+
+/** One operating-point request produced by a controller. */
+struct FreqRequest
+{
+    Domain domain = Domain::Integer;
+    Hertz frequency = 0.0;
+};
+
+/**
+ * Interface of every frequency-control policy.
+ *
+ * Protocol, per domain-clock edge of domain d (MCD runs only):
+ *
+ *   1. the processor advances d's DVFS transition engine;
+ *   2. if at least samplePeriod() has elapsed since d's last
+ *      observation, the processor calls observe() with d's stats;
+ *   3. the processor forwards every pending request to the matching
+ *      domain's transition engine and clears the list.
+ *
+ * samplePeriod() == 0 means "observe at every edge" (what the offline
+ * schedule replay needs for cycle-exact request times).
+ */
+class DvfsController
+{
+  public:
+    virtual ~DvfsController() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Minimum picoseconds between observations of one domain. */
+    virtual Tick samplePeriod() const { return 0; }
+
+    /** Digest one observation; queue requests via request(). */
+    virtual void observe(const DomainStats &stats, Tick now) = 0;
+
+    /** Requests produced since the last clearRequests(). */
+    const std::vector<FreqRequest> &requests() const { return pending; }
+
+    /** Drop (already forwarded) requests, keeping capacity. */
+    void clearRequests() { pending.clear(); }
+
+  protected:
+    void
+    request(Domain d, Hertz f)
+    {
+        pending.push_back({d, f});
+    }
+
+  private:
+    std::vector<FreqRequest> pending;
+};
+
+/**
+ * Replays an offline ReconfigSchedule (the paper's oracle path).
+ *
+ * Behavior-preserving by construction: entries for a domain are
+ * emitted, in schedule order, at the first edge of that domain whose
+ * time is >= the entry time — exactly the cursor walk the processor's
+ * old applySchedule() performed. The schedule is not owned and must
+ * outlive the controller.
+ */
+class ScheduleController : public DvfsController
+{
+  public:
+    explicit ScheduleController(const ReconfigSchedule &schedule);
+
+    const char *name() const override { return "schedule"; }
+    void observe(const DomainStats &stats, Tick now) override;
+
+    /** Entries not yet emitted (test hook). */
+    std::size_t pendingEntries() const;
+
+  private:
+    std::array<std::vector<ReconfigEntry>, numDomains> perDomain;
+    std::array<std::size_t, numDomains> cursor{};
+};
+
+/**
+ * Pins each domain at a fixed operating point: one request per domain
+ * at its first edge, nothing afterwards. Models statically scaled
+ * configurations (and exercises the transition engines' initial ramp
+ * when the targets differ from the construction-time frequencies).
+ */
+class StaticController : public DvfsController
+{
+  public:
+    explicit StaticController(
+        const std::array<Hertz, numDomains> &targets);
+
+    const char *name() const override { return "static"; }
+    void observe(const DomainStats &stats, Tick now) override;
+
+  private:
+    std::array<Hertz, numDomains> target;
+    std::array<bool, numDomains> sent{};
+};
+
+} // namespace mcd
+
+#endif // MCD_CONTROL_CONTROLLER_HH

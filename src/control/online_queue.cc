@@ -1,0 +1,59 @@
+#include "online_queue.hh"
+
+#include <algorithm>
+
+namespace mcd {
+
+OnlineQueueController::OnlineQueueController(
+    const OnlineQueueParams &params, const DvfsTable &table_,
+    std::uint64_t seed_)
+    : prm(params), table(table_), seed(seed_)
+{
+    level.fill(-1);
+}
+
+void
+OnlineQueueController::observe(const DomainStats &stats, Tick)
+{
+    if (stats.domain == Domain::FrontEnd && !prm.scaleFrontEnd)
+        return;
+
+    int di = domainIndex(stats.domain);
+    double u = stats.meanOccupancy();
+
+    if (!seen[di]) {
+        // First observation: latch the operating point the domain
+        // started at; the law needs a previous interval to compare to.
+        seen[di] = true;
+        level[di] = table.indexNearest(stats.frequency);
+        prevOcc[di] = u;
+        return;
+    }
+
+    int top = table.numPoints() - 1;
+    int next = level[di];
+    if (u >= prm.highWater) {
+        next = top;
+    } else {
+        double du = u - prevOcc[di];
+        if (du > prm.attackThreshold)
+            next += prm.attackPoints;
+        else if (du < -prm.attackThreshold)
+            next -= prm.attackPoints;
+        else if (u <= prm.idleWater)
+            next -= prm.idleDecayPoints;
+        else if (u <= prm.holdWater)
+            next -= prm.decayPoints;
+        // else: settled — the queue is usefully full but not backed
+        // up, so the current operating point is about right.
+        next = std::clamp(next, 0, top);
+    }
+    prevOcc[di] = u;
+
+    if (next != level[di]) {
+        level[di] = next;
+        request(stats.domain, table.point(next).frequency);
+    }
+}
+
+} // namespace mcd

@@ -1,8 +1,9 @@
 #include "experiment.hh"
 
 #include <cmath>
-#include <iomanip>
 #include <cstdio>
+#include <cstdlib>
+#include <iomanip>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
@@ -21,7 +22,8 @@ namespace expcache {
 // v2: adds the trailing "end" sentinel so truncated files are always
 // rejected (whitespace-delimited numbers could otherwise parse a
 // shortened final value as valid).
-const char *const version = "mcd-cache-v2";
+// v3: adds the online-controller run as a sixth record.
+const char *const version = "mcd-cache-v3";
 
 namespace {
 
@@ -74,6 +76,7 @@ write(std::ostream &os, const BenchmarkResults &r)
     writeRun(os, "dyn1", r.dyn1);
     writeRun(os, "dyn5", r.dyn5);
     writeRun(os, "global", r.global);
+    writeRun(os, "online", r.online);
     os << "end\n";
 }
 
@@ -91,7 +94,8 @@ read(std::istream &is, const std::string &name)
         !readRun(is, "mcd", r.mcdBaseline) ||
         !readRun(is, "dyn1", r.dyn1) ||
         !readRun(is, "dyn5", r.dyn5) ||
-        !readRun(is, "global", r.global)) {
+        !readRun(is, "global", r.global) ||
+        !readRun(is, "online", r.online)) {
         return std::nullopt;
     }
     std::string sentinel;
@@ -101,6 +105,86 @@ read(std::istream &is, const std::string &name)
 }
 
 } // namespace expcache
+
+namespace {
+
+/** Emit one RunResult as a JSON object. */
+void
+jsonRun(std::ostream &os, const char *indent, const RunResult &r)
+{
+    os << "{\n"
+       << indent << "  \"execTimePs\": " << r.execTime << ",\n"
+       << indent << "  \"committed\": " << r.committed << ",\n"
+       << indent << "  \"ipc\": " << r.ipc << ",\n"
+       << indent << "  \"totalEnergy\": " << r.totalEnergy << ",\n"
+       << indent << "  \"energyDelay\": " << r.energyDelay << ",\n"
+       << indent << "  \"domains\": [";
+    for (int d = 0; d < numDomains; ++d) {
+        const DomainSummary &s = r.domains[d];
+        os << (d ? ", " : "") << "{\"name\": \""
+           << domainShortName(static_cast<Domain>(d)) << "\""
+           << ", \"cycles\": " << s.cycles
+           << ", \"energy\": " << s.energy
+           << ", \"avgFrequencyHz\": " << s.avgFrequency
+           << ", \"minFrequencyHz\": " << s.minFrequency
+           << ", \"maxFrequencyHz\": " << s.maxFrequency
+           << ", \"reconfigurations\": " << s.reconfigurations << "}";
+    }
+    os << "]\n" << indent << "}";
+}
+
+} // namespace
+
+void
+writeResultsJson(std::ostream &os, const ExperimentConfig &cfg,
+                 const std::vector<BenchmarkResults> &rows)
+{
+    os << std::setprecision(17);
+    os << "{\n"
+       << "  \"config\": {\n"
+       << "    \"scale\": " << cfg.scale << ",\n"
+       << "    \"model\": \"" << dvfsKindName(cfg.model) << "\",\n"
+       << "    \"dvfsTimeScale\": " << cfg.dvfsTimeScale << ",\n"
+       << "    \"dilationLow\": " << cfg.dilationLow << ",\n"
+       << "    \"dilationHigh\": " << cfg.dilationHigh << ",\n"
+       << "    \"onlineIntervalPs\": " << cfg.online.interval << ",\n"
+       << "    \"seed\": " << cfg.seed << "\n"
+       << "  },\n"
+       << "  \"benchmarks\": [";
+    bool firstRow = true;
+    for (const BenchmarkResults &r : rows) {
+        os << (firstRow ? "" : ",") << "\n    {\n"
+           << "      \"name\": \"" << r.name << "\",\n"
+           << "      \"globalFrequencyHz\": " << r.globalFrequency
+           << ",\n"
+           << "      \"schedule1Size\": " << r.schedule1Size << ",\n"
+           << "      \"schedule5Size\": " << r.schedule5Size << ",\n"
+           << "      \"runs\": {\n";
+        struct { const char *tag; const RunResult *run; } runs[] = {
+            {"baseline", &r.baseline}, {"mcdBaseline", &r.mcdBaseline},
+            {"dyn1", &r.dyn1}, {"dyn5", &r.dyn5},
+            {"global", &r.global}, {"online", &r.online},
+        };
+        for (std::size_t i = 0; i < std::size(runs); ++i) {
+            os << "        \"" << runs[i].tag << "\": ";
+            jsonRun(os, "        ", *runs[i].run);
+            os << (i + 1 < std::size(runs) ? ",\n" : "\n");
+        }
+        os << "      },\n"
+           << "      \"derived\": {\n";
+        for (std::size_t i = 1; i < std::size(runs); ++i) {
+            const RunResult &run = *runs[i].run;
+            os << "        \"" << runs[i].tag << "\": {"
+               << "\"perfDegradation\": " << r.perfDegradation(run)
+               << ", \"energySavings\": " << r.energySavings(run)
+               << ", \"edpImprovement\": " << r.edpImprovement(run)
+               << "}" << (i + 1 < std::size(runs) ? ",\n" : "\n");
+        }
+        os << "      }\n    }";
+        firstRow = false;
+    }
+    os << "\n  ]\n}\n";
+}
 
 ExperimentRunner::ExperimentRunner(ExperimentConfig cfg)
     : config(std::move(cfg))
@@ -125,11 +209,21 @@ ExperimentRunner::runOnce(const Program &prog, const SimConfig &sc) const
 std::string
 ExperimentRunner::cacheKey(const std::string &name) const
 {
-    char buf[192];
-    std::snprintf(buf, sizeof(buf), "%s-s%d-%s-ts%.4f-d%.3f-%.3f-seed%llu",
+    // The online law's tuning parameters all shape the cached online
+    // record, so fold them into the key to prevent stale aliasing.
+    const OnlineQueueParams &oq = config.online;
+    char buf[288];
+    std::snprintf(buf, sizeof(buf),
+                  "%s-s%d-%s-ts%.4f-d%.3f-%.3f"
+                  "-oi%.2f-oa%.2f-%d-%d-%d-ow%.2f-%.2f-%.2f-%d"
+                  "-seed%llu",
                   name.c_str(), config.scale, dvfsKindName(config.model),
                   config.dvfsTimeScale, config.dilationLow,
                   config.dilationHigh,
+                  static_cast<double>(oq.interval) / 1e6,
+                  oq.attackThreshold, oq.attackPoints, oq.decayPoints,
+                  oq.idleDecayPoints, oq.highWater, oq.holdWater,
+                  oq.idleWater, oq.scaleFrontEnd ? 1 : 0,
                   static_cast<unsigned long long>(config.seed));
     return buf;
 }
@@ -196,6 +290,20 @@ ExperimentRunner::profileLeg(const Program &prog,
     RunResult r = prof.run();
     trace_out = prof.takeTrace();
     return r;
+}
+
+RunResult
+ExperimentRunner::onlineLeg(const Program &prog) const
+{
+    // Online control: MCD clocking with the attack/decay controller
+    // instead of an offline schedule. Seeded from the experiment seed
+    // so the leg is reproducible and job-count independent.
+    SimConfig sc = makeSimConfig(ClockingStyle::Mcd);
+    sc.dvfs = config.model;
+    sc.dvfsTimeScale = config.dvfsTimeScale;
+    OnlineQueueController ctrl(config.online, DvfsTable{}, config.seed);
+    sc.controller = &ctrl;
+    return runOnce(prog, sc);
 }
 
 ExperimentRunner::DynLeg
@@ -307,6 +415,12 @@ ExperimentRunner::runBenchmark(const std::string &name, ThreadPool &pool)
         return runOnce(prog, makeSimConfig(ClockingStyle::SingleClock));
     });
 
+    // Leg 1b — the online controller needs neither the trace nor the
+    // baseline; fully independent.
+    auto onlineFut = pool.submit([this, &prog] {
+        return onlineLeg(prog);
+    });
+
     // Leg 2 — baseline MCD / profiling run (produces the trace).
     std::vector<InstTrace> trace;
     auto profFut = pool.submit([this, &prog, &trace] {
@@ -333,9 +447,42 @@ ExperimentRunner::runBenchmark(const std::string &name, ThreadPool &pool)
     r.baseline = pool.wait(baseFut);
     globalLeg(prog, r);
 
+    r.online = pool.wait(onlineFut);
+
     storeCache(r);
     return r;
 }
+
+ExperimentRunner::OnlineRun
+ExperimentRunner::runOnline(const std::string &name)
+{
+    Program prog = workloads::build(name, config.scale);
+    OnlineRun out;
+    out.mcdBaseline = runOnce(prog, makeSimConfig(ClockingStyle::Mcd));
+    out.online = onlineLeg(prog);
+    return out;
+}
+
+namespace {
+
+/** Honor MCD_RESULTS_JSON: dump the finished matrix to that path. */
+void
+maybeWriteJson(const ExperimentConfig &cfg,
+               const std::vector<BenchmarkResults> &out)
+{
+    const char *path = std::getenv("MCD_RESULTS_JSON");
+    if (!path || !*path)
+        return;
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "  MCD_RESULTS_JSON: cannot write %s\n",
+                     path);
+        return;
+    }
+    writeResultsJson(os, cfg, out);
+}
+
+} // namespace
 
 std::vector<BenchmarkResults>
 runMatrix(const ExperimentConfig &cfg,
@@ -355,6 +502,7 @@ runMatrix(const ExperimentConfig &cfg,
                              names[i].c_str());
             out[i] = runner.runBenchmark(names[i]);
         }
+        maybeWriteJson(cfg, out);
         return out;
     }
 
@@ -376,6 +524,7 @@ runMatrix(const ExperimentConfig &cfg,
     // Collect in workload order, independent of completion order.
     for (std::size_t i = 0; i < names.size(); ++i)
         out[i] = pool.wait(futs[i]);
+    maybeWriteJson(cfg, out);
     return out;
 }
 

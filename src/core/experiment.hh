@@ -13,6 +13,13 @@
  *  - global: the baseline with a single reduced frequency/voltage
  *    chosen so its performance degradation matches dynamic-5%.
  *
+ * Plus a sixth, non-oracle configuration beyond the paper:
+ *
+ *  - online: per-domain DVFS driven at runtime by the queue-occupancy
+ *    attack/decay controller (no profiling pass, no offline tool),
+ *    measuring how close a practical control loop gets to the
+ *    dyn-1%/dyn-5% oracle columns.
+ *
  * Results are cached on disk so the per-figure bench binaries can
  * share one expensive run matrix.
  */
@@ -27,6 +34,7 @@
 
 #include "analysis/analyzer.hh"
 #include "common/thread_pool.hh"
+#include "control/online_queue.hh"
 #include "core/processor.hh"
 #include "core/sim_config.hh"
 
@@ -46,9 +54,12 @@ struct ExperimentConfig
     std::uint64_t seed = 1;
     bool recordFreqTrace = false;   //!< per-domain traces (Figure 8)
     std::string cacheDir;           //!< empty = caching disabled
+
+    /** Attack/decay parameters for the online-control column. */
+    OnlineQueueParams online;
 };
 
-/** The five runs (plus metadata) for one benchmark. */
+/** The six runs (plus metadata) for one benchmark. */
 struct BenchmarkResults
 {
     std::string name;
@@ -57,6 +68,7 @@ struct BenchmarkResults
     RunResult dyn1;
     RunResult dyn5;
     RunResult global;
+    RunResult online;       //!< online queue-driven attack/decay
     Hertz globalFrequency = 0.0;
 
     std::size_t schedule1Size = 0;  //!< dyn-1% schedule entries
@@ -107,6 +119,15 @@ std::optional<BenchmarkResults> read(std::istream &is,
 } // namespace expcache
 
 /**
+ * Machine-readable (JSON) emission of matrix results, so trajectory /
+ * plotting tooling can consume runMatrix() output without scraping
+ * the text tables. runMatrix() also writes this automatically to the
+ * path named by the MCD_RESULTS_JSON environment variable.
+ */
+void writeResultsJson(std::ostream &os, const ExperimentConfig &cfg,
+                      const std::vector<BenchmarkResults> &rows);
+
+/**
  * Runs experiment matrices, with optional on-disk caching.
  *
  * Thread safety: one runner may be used from many threads at once —
@@ -151,6 +172,18 @@ class ExperimentRunner
     DynamicRun runDynamic(const std::string &name,
                           double target_dilation);
 
+    /**
+     * Run only the online-control comparison: the MCD baseline and
+     * the OnlineQueueController run (no offline analysis, no global
+     * search). Never cached — cheap enough to rerun.
+     */
+    struct OnlineRun
+    {
+        RunResult mcdBaseline;
+        RunResult online;
+    };
+    OnlineRun runOnline(const std::string &name);
+
     const ExperimentConfig &cfg() const { return config; }
 
   private:
@@ -165,6 +198,7 @@ class ExperimentRunner
     RunResult runOnce(const Program &prog, const SimConfig &sc) const;
     RunResult profileLeg(const Program &prog,
                          std::vector<InstTrace> &trace_out) const;
+    RunResult onlineLeg(const Program &prog) const;
     DynLeg dynamicLeg(const Program &prog,
                       const std::vector<InstTrace> &trace,
                       double target_dilation) const;

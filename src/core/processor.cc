@@ -74,25 +74,46 @@ McdProcessor::McdProcessor(const SimConfig &config, const Program &program)
         }
     }
 
-    // Split the schedule per domain for cheap cursor-based application.
-    schedPerDomain.resize(numDomains);
-    if (cfg.schedule) {
-        for (const ReconfigEntry &e : cfg.schedule->all())
-            schedPerDomain[domainIndex(e.domain)].push_back(e);
+    // Resolve the control plane: an explicit controller wins; a bare
+    // schedule is wrapped in the behavior-preserving replay controller.
+    if (cfg.controller) {
+        mcdAssert(!cfg.schedule,
+                  "SimConfig: set either controller or schedule, not both");
+        controller = cfg.controller;
+    } else if (cfg.schedule) {
+        ownedController =
+            std::make_unique<ScheduleController>(*cfg.schedule);
+        controller = ownedController.get();
     }
 }
 
+/**
+ * One controller step for domain @p d at edge time @p now: drain the
+ * pipeline's occupancy window into an observation, then forward every
+ * request the controller produced to the matching transition engine.
+ */
 void
-McdProcessor::applySchedule(Domain d, Tick now)
+McdProcessor::observeAndControl(Domain d, int di, Tick now)
 {
-    int di = domainIndex(d);
-    auto &list = schedPerDomain[di];
-    std::size_t &cur = schedCursor[di];
-    while (cur < list.size() && list[cur].when <= now) {
-        if (dvfs[di])
-            dvfs[di]->requestFrequency(now, list[cur].frequency);
-        ++cur;
+    OccupancyWindow w = pipe->takeOccupancyWindow(d);
+    DomainStats s;
+    s.domain = d;
+    s.windowCycles = w.cycles;
+    s.occupancySum = w.occupancySum;
+    s.queueLength = w.queueLength;
+    s.queueCapacity = w.capacity;
+    s.frequency = clocks[di]->frequency();
+    controller->observe(s, now);
+
+    if (!controller->requests().empty()) {
+        for (const FreqRequest &q : controller->requests()) {
+            if (DomainDvfs *engine = dvfs[domainIndex(q.domain)].get())
+                engine->requestFrequency(now, q.frequency);
+        }
+        controller->clearRequests();
     }
+    if (Tick period = controller->samplePeriod())
+        nextObserve[di] = now + period;
 }
 
 RunResult
@@ -126,7 +147,8 @@ McdProcessor::run()
         bool blocked = false;
         if (mcd && dvfs[di]) {
             dvfs[di]->update(t);
-            applySchedule(d, t);
+            if (controller && t >= nextObserve[di])
+                observeAndControl(d, di, t);
             blocked = dvfs[di]->executionBlocked(t);
         }
         if (!blocked)

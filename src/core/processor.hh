@@ -12,10 +12,10 @@
 #include <memory>
 #include <vector>
 
-#include "analysis/schedule.hh"
 #include "clock/clock_domain.hh"
 #include "clock/dvfs.hh"
 #include "clock/operating_points.hh"
+#include "control/controller.hh"
 #include "core/sim_config.hh"
 #include "cpu/pipeline.hh"
 #include "isa/executor.hh"
@@ -52,8 +52,11 @@ class McdProcessor
     const ClockDomain &clock(Domain d) const
     { return *clocks[domainIndex(d)]; }
 
+    /** The active frequency controller (nullptr for static runs). */
+    const DvfsController *controllerInUse() const { return controller; }
+
   private:
-    void applySchedule(Domain d, Tick now);
+    void observeAndControl(Domain d, int di, Tick now);
 
     SimConfig cfg;
     Program prog;       //!< owned copy: callers may pass temporaries
@@ -70,9 +73,11 @@ class McdProcessor
     std::unique_ptr<Pipeline> pipe;
     std::array<std::unique_ptr<DomainDvfs>, numDomains> dvfs;
 
-    // Schedule cursor per domain.
-    std::array<std::size_t, numDomains> schedCursor{};
-    std::vector<std::vector<ReconfigEntry>> schedPerDomain;
+    // The control plane: either the caller's controller or an
+    // internally owned ScheduleController wrapping cfg.schedule.
+    DvfsController *controller = nullptr;
+    std::unique_ptr<DvfsController> ownedController;
+    std::array<Tick, numDomains> nextObserve{};
 };
 
 } // namespace mcd

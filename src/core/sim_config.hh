@@ -21,6 +21,7 @@
 namespace mcd {
 
 class ReconfigSchedule;
+class DvfsController;
 
 /** Globally synchronous vs. multiple clock domains. */
 enum class ClockingStyle : std::uint8_t {
@@ -46,7 +47,18 @@ struct SimConfig
     DvfsKind dvfs = DvfsKind::None;
     double dvfsTimeScale = 1.0;
 
-    /** Reconfiguration schedule for dynamic runs (not owned). */
+    /**
+     * Frequency-control policy for dynamic runs (not owned; stateful,
+     * so one controller serves exactly one run). Mutually exclusive
+     * with @ref schedule.
+     */
+    DvfsController *controller = nullptr;
+
+    /**
+     * Reconfiguration schedule for dynamic runs (not owned).
+     * Convenience for the offline-oracle path: the processor wraps it
+     * in an internal ScheduleController.
+     */
     const ReconfigSchedule *schedule = nullptr;
 
     /** Record per-domain frequency traces (Figure 8). */

@@ -79,12 +79,54 @@ Pipeline::chargePower(Unit u, int count)
 void
 Pipeline::tickDomain(Domain d, Tick now)
 {
+    int di = domainIndex(d);
+    ++occCycles[di];
+    occSum[di] += queueLength(d);
+
     switch (d) {
       case Domain::FrontEnd: tickFrontEnd(now); break;
       case Domain::Integer: tickInteger(now); break;
       case Domain::FloatingPoint: tickFloat(now); break;
       case Domain::LoadStore: tickLoadStore(now); break;
     }
+}
+
+std::size_t
+Pipeline::queueLength(Domain d) const
+{
+    switch (d) {
+      case Domain::FrontEnd: return rob.size();
+      case Domain::Integer: return intIq.size();
+      case Domain::FloatingPoint: return fpIq.size();
+      case Domain::LoadStore: return lsq.size();
+    }
+    return 0;
+}
+
+int
+Pipeline::queueCapacity(Domain d) const
+{
+    switch (d) {
+      case Domain::FrontEnd: return cfg.robSize;
+      case Domain::Integer: return cfg.intIssueQueueSize;
+      case Domain::FloatingPoint: return cfg.fpIssueQueueSize;
+      case Domain::LoadStore: return cfg.lsqSize;
+    }
+    return 0;
+}
+
+OccupancyWindow
+Pipeline::takeOccupancyWindow(Domain d)
+{
+    int di = domainIndex(d);
+    OccupancyWindow w;
+    w.cycles = occCycles[di];
+    w.occupancySum = occSum[di];
+    w.queueLength = queueLength(d);
+    w.capacity = queueCapacity(d);
+    occCycles[di] = 0;
+    occSum[di] = 0;
+    return w;
 }
 
 // ---------------------------------------------------------------------

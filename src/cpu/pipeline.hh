@@ -75,6 +75,31 @@ struct PipelineStats
 };
 
 /**
+ * Windowed occupancy counters for one domain's primary queue (ROB for
+ * the front end, issue queues for the execution domains, LSQ for
+ * load/store), accumulated per domain edge and drained with
+ * Pipeline::takeOccupancyWindow(). Online DVFS controllers consume
+ * these as their utilization signal.
+ */
+struct OccupancyWindow
+{
+    std::uint64_t cycles = 0;       //!< domain edges accumulated
+    std::uint64_t occupancySum = 0; //!< Σ queue entries per edge
+    std::size_t queueLength = 0;    //!< entries at the sample point
+    int capacity = 0;
+
+    /** Mean queue-fill fraction [0, 1] over the window. */
+    double
+    meanOccupancy() const
+    {
+        if (!cycles || capacity <= 0)
+            return 0.0;
+        return static_cast<double>(occupancySum) /
+            (static_cast<double>(cycles) * static_cast<double>(capacity));
+    }
+};
+
+/**
  * The four-domain out-of-order engine.
  */
 class Pipeline
@@ -110,6 +135,18 @@ class Pipeline
 
     /** In-flight instruction count (test hook). */
     std::size_t inFlight() const { return window.size(); }
+
+    /** Entries currently in @p d's primary queue. */
+    std::size_t queueLength(Domain d) const;
+
+    /** Capacity of @p d's primary queue. */
+    int queueCapacity(Domain d) const;
+
+    /**
+     * Drain @p d's occupancy counters accumulated since the previous
+     * call (or construction) and reset the window.
+     */
+    OccupancyWindow takeOccupancyWindow(Domain d);
 
   private:
     struct QueueEntry
@@ -184,6 +221,10 @@ class Pipeline
 
     Tick lastCommit = 0;
     PipelineStats stat;
+
+    // Per-domain occupancy accumulation (see takeOccupancyWindow).
+    std::array<std::uint64_t, numDomains> occCycles{};
+    std::array<std::uint64_t, numDomains> occSum{};
 };
 
 } // namespace mcd

@@ -264,5 +264,30 @@ TEST(DvfsKindNames, AreStable)
     EXPECT_STREQ(dvfsKindName(DvfsKind::XScale), "XScale");
 }
 
+TEST(DvfsKindNames, FromNameRoundTripsEveryKind)
+{
+    for (DvfsKind k : {DvfsKind::None, DvfsKind::Transmeta,
+                       DvfsKind::XScale}) {
+        auto back = dvfsKindFromName(dvfsKindName(k));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, k);
+    }
+}
+
+TEST(DvfsKindNames, FromNameIsCaseInsensitive)
+{
+    EXPECT_EQ(dvfsKindFromName("transmeta"), DvfsKind::Transmeta);
+    EXPECT_EQ(dvfsKindFromName("XSCALE"), DvfsKind::XScale);
+    EXPECT_EQ(dvfsKindFromName("None"), DvfsKind::None);
+}
+
+TEST(DvfsKindNames, FromNameRejectsUnknown)
+{
+    EXPECT_FALSE(dvfsKindFromName("").has_value());
+    EXPECT_FALSE(dvfsKindFromName("longrun").has_value());
+    EXPECT_FALSE(dvfsKindFromName("XScale2").has_value());
+    EXPECT_FALSE(dvfsKindFromName(" xscale").has_value());
+}
+
 } // namespace
 } // namespace mcd

@@ -5,7 +5,10 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -96,6 +99,88 @@ TEST(Experiment, CacheRoundtrip)
                          second.dyn5.domains[d].avgFrequency);
     }
     std::filesystem::remove_all(dir);
+}
+
+/** Crude well-formedness check: balanced {} and [] outside strings. */
+void
+expectBalancedJson(const std::string &text)
+{
+    int brace = 0, bracket = 0;
+    bool inString = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (inString) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        switch (c) {
+          case '"': inString = true; break;
+          case '{': ++brace; break;
+          case '}': --brace; break;
+          case '[': ++bracket; break;
+          case ']': --bracket; break;
+        }
+        EXPECT_GE(brace, 0);
+        EXPECT_GE(bracket, 0);
+    }
+    EXPECT_EQ(brace, 0);
+    EXPECT_EQ(bracket, 0);
+    EXPECT_FALSE(inString);
+}
+
+TEST(Experiment, JsonEmitterIsWellFormedAndComplete)
+{
+    ExperimentConfig ec;
+    BenchmarkResults r;
+    r.name = "synthetic";
+    r.baseline.execTime = 1000;
+    r.baseline.totalEnergy = 2.0;
+    r.baseline.energyDelay = 4.0;
+    r.baseline.ipc = 1.2345678901234567;
+    r.online.execTime = 1100;
+    r.online.totalEnergy = 1.5;
+    r.online.energyDelay = 3.0;
+
+    std::ostringstream os;
+    writeResultsJson(os, ec, {r});
+    std::string text = os.str();
+
+    expectBalancedJson(text);
+    for (const char *key :
+         {"\"config\"", "\"benchmarks\"", "\"runs\"", "\"derived\"",
+          "\"baseline\"", "\"mcdBaseline\"", "\"dyn1\"", "\"dyn5\"",
+          "\"global\"", "\"online\"", "\"domains\"", "\"execTimePs\"",
+          "\"energySavings\"", "\"onlineIntervalPs\""}) {
+        EXPECT_NE(text.find(key), std::string::npos) << key;
+    }
+    // Doubles survive at full precision (setprecision(17)).
+    EXPECT_NE(text.find("1.2345678901234567"), std::string::npos);
+    // online derived vs baseline: 1 - 1.5/2.0 = 0.25 energy savings.
+    EXPECT_NE(text.find("\"energySavings\": 0.25"), std::string::npos);
+}
+
+TEST(Experiment, RunMatrixHonorsResultsJsonEnv)
+{
+    std::string path = std::filesystem::temp_directory_path() /
+        "mcd-test-results.json";
+    std::filesystem::remove(path);
+    ::setenv("MCD_RESULTS_JSON", path.c_str(), 1);
+
+    ExperimentConfig ec;
+    runMatrix(ec, {"mst"}, 1);
+    ::unsetenv("MCD_RESULTS_JSON");
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "runMatrix did not write " << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    expectBalancedJson(ss.str());
+    EXPECT_NE(ss.str().find("\"name\": \"mst\""), std::string::npos);
+    EXPECT_NE(ss.str().find("\"online\""), std::string::npos);
+    std::filesystem::remove(path);
 }
 
 TEST(Experiment, CacheKeyDistinguishesConfigs)

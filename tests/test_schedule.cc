@@ -52,6 +52,41 @@ TEST(Schedule, TextRoundtrip)
     }
 }
 
+TEST(Schedule, FinalizeIsStableForSameTickEntries)
+{
+    // Two entries at the same tick must keep their insertion order
+    // after finalize() — the later-added one wins when replayed.
+    ReconfigSchedule s;
+    s.add(2000, Domain::Integer, 500e6);
+    s.add(1000, Domain::Integer, 1e9);
+    s.add(2000, Domain::Integer, 750e6);
+    s.finalize();
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.all()[0].when, 1000u);
+    EXPECT_DOUBLE_EQ(s.all()[1].frequency, 500e6);
+    EXPECT_DOUBLE_EQ(s.all()[2].frequency, 750e6);
+}
+
+TEST(Schedule, UnsortedInputHealedByFinalizeSurvivesRoundtrip)
+{
+    ReconfigSchedule s;
+    s.add(9000, Domain::LoadStore, 250e6);
+    s.add(100, Domain::Integer, 750e6);
+    s.add(9000, Domain::LoadStore, 500e6);
+    s.add(100, Domain::FloatingPoint, 250e6);
+    s.finalize();
+    ReconfigSchedule back = ReconfigSchedule::fromText(s.toText());
+    ASSERT_EQ(back.size(), 4u);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        EXPECT_EQ(back.all()[i].when, s.all()[i].when);
+        EXPECT_EQ(back.all()[i].domain, s.all()[i].domain);
+        EXPECT_DOUBLE_EQ(back.all()[i].frequency, s.all()[i].frequency);
+    }
+    // Same-tick same-domain order survived the text round-trip.
+    EXPECT_DOUBLE_EQ(back.all()[2].frequency, 250e6);
+    EXPECT_DOUBLE_EQ(back.all()[3].frequency, 500e6);
+}
+
 TEST(Schedule, FromTextSkipsBlankLines)
 {
     ReconfigSchedule s =
@@ -64,6 +99,21 @@ TEST(Schedule, FromTextRejectsGarbage)
 {
     EXPECT_THROW(ReconfigSchedule::fromText("hello world"), FatalError);
     EXPECT_THROW(ReconfigSchedule::fromText("100 BOGUS 5e8"), FatalError);
+}
+
+TEST(Schedule, FromTextRejectsTruncatedLines)
+{
+    EXPECT_THROW(ReconfigSchedule::fromText("100"), FatalError);
+    EXPECT_THROW(ReconfigSchedule::fromText("100 INT"), FatalError);
+    EXPECT_THROW(ReconfigSchedule::fromText("INT 5e8"), FatalError);
+}
+
+TEST(Schedule, FromTextRejectsBadLineAmongGoodOnes)
+{
+    EXPECT_THROW(
+        ReconfigSchedule::fromText(
+            "100 INT 500000000\nnonsense\n200 LS 250000000\n"),
+        FatalError);
 }
 
 TEST(Schedule, EmptyByDefault)
