@@ -40,17 +40,60 @@ configFromEnv(DvfsKind model = DvfsKind::XScale)
 }
 
 /**
- * Run the full five-configuration matrix for all 16 benchmarks,
- * fanned across MCD_JOBS worker threads (default: hardware
- * concurrency; 1 = serial). Output order and results are identical
- * for every job count.
+ * Benchmark list for a matrix run: all 16 workloads, or the
+ * comma-separated subset named by MCD_BENCHMARKS (unknown names are
+ * rejected so a typo cannot silently shrink a figure). The CI smoke
+ * job uses this to run a single benchmark with telemetry enabled.
+ */
+inline std::vector<std::string>
+benchmarkNamesFromEnv()
+{
+    std::vector<std::string> names;
+    const char *filter = std::getenv("MCD_BENCHMARKS");
+    if (!filter || !*filter) {
+        for (const WorkloadInfo &w : workloads::all())
+            names.emplace_back(w.name);
+        return names;
+    }
+    std::string item;
+    for (const char *p = filter;; ++p) {
+        if (*p && *p != ',') {
+            item += *p;
+            continue;
+        }
+        if (!item.empty()) {
+            bool known = false;
+            for (const WorkloadInfo &w : workloads::all())
+                known = known || item == w.name;
+            if (!known) {
+                std::fprintf(stderr,
+                             "MCD_BENCHMARKS: unknown benchmark '%s'\n",
+                             item.c_str());
+                std::exit(2);
+            }
+            names.push_back(item);
+            item.clear();
+        }
+        if (!*p)
+            break;
+    }
+    if (names.empty()) {
+        std::fprintf(stderr, "MCD_BENCHMARKS: empty benchmark list\n");
+        std::exit(2);
+    }
+    return names;
+}
+
+/**
+ * Run the full five-configuration matrix for all 16 benchmarks (or
+ * the MCD_BENCHMARKS subset), fanned across MCD_JOBS worker threads
+ * (default: hardware concurrency; 1 = serial). Output order and
+ * results are identical for every job count.
  */
 inline std::vector<BenchmarkResults>
 runMatrix(const ExperimentConfig &ec)
 {
-    std::vector<std::string> names;
-    for (const WorkloadInfo &w : workloads::all())
-        names.emplace_back(w.name);
+    std::vector<std::string> names = benchmarkNamesFromEnv();
     int jobs = static_cast<int>(ThreadPool::jobsFromEnv());
     std::fprintf(stderr, "  matrix: %zu benchmarks, %d jobs\n",
                  names.size(), jobs);

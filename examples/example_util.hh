@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared plumbing for the example binaries: the --trace-out /
+ * --stats-out telemetry output flags (with MCD_TRACE_OUT /
+ * MCD_STATS_OUT environment fallback) and the writers behind them.
+ */
+
+#ifndef MCD_EXAMPLES_EXAMPLE_UTIL_HH
+#define MCD_EXAMPLES_EXAMPLE_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace mcd {
+namespace exutil {
+
+/**
+ * Consume "--trace-out <path>" / "--stats-out <path>" from argv
+ * (compacting the positional arguments so existing positional parsing
+ * is unaffected), falling back to the MCD_TRACE_OUT / MCD_STATS_OUT
+ * environment variables when the flags are absent.
+ */
+struct TelemetryArgs
+{
+    std::string traceOut;
+    std::string statsOut;
+
+    bool wanted() const { return !traceOut.empty() || !statsOut.empty(); }
+
+    static TelemetryArgs
+    parse(int &argc, char **argv)
+    {
+        TelemetryArgs a;
+        if (const char *e = std::getenv("MCD_TRACE_OUT"))
+            a.traceOut = e;
+        if (const char *e = std::getenv("MCD_STATS_OUT"))
+            a.statsOut = e;
+        int out = 1;
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            std::string *dst = arg == "--trace-out" ? &a.traceOut
+                : arg == "--stats-out" ? &a.statsOut : nullptr;
+            if (!dst) {
+                argv[out++] = argv[i];
+                continue;
+            }
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a path\n", arg.c_str());
+                std::exit(1);
+            }
+            *dst = argv[++i];
+        }
+        argc = out;
+        return a;
+    }
+
+    /** Write the requested documents for the given labeled runs. */
+    void
+    write(const std::vector<NamedRun> &runs) const
+    {
+        auto writeTo = [&](const std::string &path, auto writer) {
+            if (path.empty())
+                return;
+            std::ofstream os(path);
+            if (!os) {
+                std::fprintf(stderr, "cannot write %s\n", path.c_str());
+                std::exit(1);
+            }
+            writer(os);
+            std::printf("      telemetry written to %s\n", path.c_str());
+        };
+        writeTo(statsOut, [&](std::ostream &os) {
+            writeTelemetryStatsJson(os, runs);
+        });
+        writeTo(traceOut, [&](std::ostream &os) {
+            writeTelemetryTrace(os, runs);
+        });
+    }
+};
+
+} // namespace exutil
+} // namespace mcd
+
+#endif // MCD_EXAMPLES_EXAMPLE_UTIL_HH

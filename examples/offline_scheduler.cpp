@@ -7,6 +7,12 @@
  * run and report the outcome.
  *
  *   ./offline_scheduler [benchmark] [dilation-%] [xscale|transmeta]
+ *                       [--trace-out <path>] [--stats-out <path>]
+ *
+ * --trace-out writes a merged Chrome trace (chrome://tracing /
+ * Perfetto) of the profiling and dynamic runs; --stats-out writes
+ * their stats registries as JSON. MCD_TRACE_OUT / MCD_STATS_OUT are
+ * the environment fallback when the flags are absent.
  */
 
 #include <cstdio>
@@ -17,6 +23,7 @@
 #include "common/stats.hh"
 #include "control/controller.hh"
 #include "core/processor.hh"
+#include "example_util.hh"
 #include "workloads/workloads.hh"
 
 using namespace mcd;
@@ -24,6 +31,8 @@ using namespace mcd;
 int
 main(int argc, char **argv)
 {
+    exutil::TelemetryArgs telemetry =
+        exutil::TelemetryArgs::parse(argc, argv);
     std::string bench = argc > 1 ? argv[1] : "art";
     double dilation = argc > 2 ? std::atof(argv[2]) / 100.0 : 0.05;
     DvfsKind model = DvfsKind::XScale;
@@ -48,6 +57,8 @@ main(int argc, char **argv)
     SimConfig profCfg;
     profCfg.clocking = ClockingStyle::Mcd;
     profCfg.collectTrace = true;
+    if (telemetry.wanted())
+        profCfg.telemetry = obs::TelemetryConfig::full();
     McdProcessor prof(profCfg, prog);
     RunResult profile = prof.run();
     std::printf("      %llu instructions, %zu trace records, %s\n\n",
@@ -91,6 +102,8 @@ main(int argc, char **argv)
     dynCfg.dvfs = model;
     dynCfg.dvfsTimeScale = timeScale;
     dynCfg.controller = &ctrl;
+    if (telemetry.wanted())
+        dynCfg.telemetry = obs::TelemetryConfig::full();
     McdProcessor dyn(dynCfg, prog);
     RunResult r = dyn.run();
 
@@ -112,5 +125,8 @@ main(int argc, char **argv)
                     formatMHz(s.maxFrequency).c_str(),
                     static_cast<unsigned long long>(s.reconfigurations));
     }
+
+    telemetry.write({{bench + "/profile", &profile},
+                     {bench + "/dynamic", &r}});
     return 0;
 }

@@ -6,6 +6,12 @@
  * dynamic-5% oracle run.
  *
  *   ./online_control [benchmark] [xscale|transmeta] [interval-us]
+ *                    [--trace-out <path>] [--stats-out <path>]
+ *
+ * --trace-out writes a merged Chrome trace (chrome://tracing /
+ * Perfetto) of all runs; --stats-out writes their stats registries as
+ * JSON. The MCD_TRACE_OUT / MCD_STATS_OUT environment variables are
+ * the fallback when the flags are absent.
  */
 
 #include <cstdio>
@@ -15,6 +21,7 @@
 #include "common/stats.hh"
 #include "control/online_queue.hh"
 #include "core/experiment.hh"
+#include "example_util.hh"
 #include "workloads/workloads.hh"
 
 using namespace mcd;
@@ -22,6 +29,8 @@ using namespace mcd;
 int
 main(int argc, char **argv)
 {
+    exutil::TelemetryArgs telemetry =
+        exutil::TelemetryArgs::parse(argc, argv);
     std::string bench = argc > 1 ? argv[1] : "adpcm";
     DvfsKind model = DvfsKind::XScale;
     if (argc > 2) {
@@ -39,6 +48,8 @@ main(int argc, char **argv)
     ec.model = model;
     if (argc > 3)
         ec.online.interval = fromMicroseconds(std::atof(argv[3]));
+    if (telemetry.wanted())
+        ec.telemetry = obs::TelemetryConfig::full();
     ExperimentRunner runner(ec);
 
     std::printf("[1/2] MCD baseline + online attack/decay run "
@@ -79,7 +90,11 @@ main(int argc, char **argv)
                 formatPercent(1.0 - dyn.result.energyDelay /
                               on.mcdBaseline.energyDelay).c_str());
     std::printf("\n      online achieved %.0f%% of the oracle's energy "
-                "savings with no profiling pass\n",
+                "savings with no profiling pass\n\n",
                 osave > 0 ? 100.0 * esave / osave : 0.0);
+
+    telemetry.write({{bench + "/mcdBaseline", &on.mcdBaseline},
+                     {bench + "/online", &on.online},
+                     {bench + "/dyn5", &dyn.result}});
     return 0;
 }

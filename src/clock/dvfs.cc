@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/log.hh"
+#include "obs/telemetry.hh"
 
 namespace mcd {
 
@@ -139,6 +140,8 @@ DomainDvfs::applyFrequency(Tick now, Hertz f)
     dom.setFrequency(f);
     if (tracing)
         freqTrace.push_back({now, f});
+    if (telem)
+        telem->onFrequencyChange(dom.id(), now, f);
 }
 
 void
@@ -191,6 +194,8 @@ DomainDvfs::update(Tick now)
             relocking = true;
             relockEnd = now + sampleRelock();
             relockFreq = targetFreq;
+            if (telem)
+                telem->onRelockWindow(dom.id(), now, relockEnd);
             return;
         }
         applyFrequency(now, targetFreq);
@@ -226,6 +231,8 @@ DomainDvfs::update(Tick now)
             relocking = true;
             relockEnd = now + sampleRelock();
             relockFreq = targetFreq;
+            if (telem)
+                telem->onRelockWindow(dom.id(), now, relockEnd);
             return;
         }
         applyFrequency(now, targetFreq);

@@ -40,6 +40,8 @@
 
 namespace mcd {
 
+namespace obs { class Telemetry; }
+
 /** Which scaling technology a configuration models. */
 enum class DvfsKind : std::uint8_t {
     None,       //!< no transition cost: requests apply instantly
@@ -80,13 +82,6 @@ struct DvfsParams
     static DvfsParams forKind(DvfsKind kind, double time_scale = 1.0);
 };
 
-/** One recorded frequency change (for Figure 8 traces). */
-struct FreqTracePoint
-{
-    Tick when = 0;
-    Hertz frequency = 0.0;
-};
-
 /**
  * Drives one domain's (frequency, voltage) trajectory.
  *
@@ -124,6 +119,16 @@ class DomainDvfs
     /** Number of requestFrequency() calls that changed the target. */
     std::uint64_t reconfigurations() const { return reconfigs; }
 
+    /**
+     * Attach the run's telemetry context: frequency changes and PLL
+     * re-lock windows are reported through its hooks. The production
+     * consumer of frequency series (Figure 8, RunResult::freqTraces)
+     * reads the telemetry sampler; the legacy in-engine trace below
+     * remains as the independent ground truth the telemetry tests
+     * compare against.
+     */
+    void attachTelemetry(obs::Telemetry *t) { telem = t; }
+
     /** Enable recording of (time, frequency) trace points. */
     void enableTrace() { tracing = true; }
     const std::vector<FreqTracePoint> &trace() const { return freqTrace; }
@@ -141,6 +146,7 @@ class DomainDvfs
     const DvfsParams params;
     const DvfsTable &table;
     ClockDomain &dom;
+    obs::Telemetry *telem = nullptr;
     Rng rng;
 
     bool active = false;

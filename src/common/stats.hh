@@ -15,7 +15,14 @@
 
 namespace mcd {
 
-/** Accumulates a scalar series: count, sum, mean, min, max. */
+/**
+ * Accumulates a scalar series: count, sum, mean, min, max.
+ *
+ * An empty series has no extrema: min()/max() return NaN so emptiness
+ * is signaled rather than silently reading as 0.0 (which is a valid
+ * observed value). Callers that want a printable placeholder should
+ * branch on empty().
+ */
 class RunningStat
 {
   public:
@@ -29,10 +36,23 @@ class RunningStat
     }
 
     std::uint64_t count() const { return n; }
+    bool empty() const { return n == 0; }
     double sum() const { return total; }
     double mean() const { return n ? total / static_cast<double>(n) : 0.0; }
-    double min() const { return n ? lo : 0.0; }
-    double max() const { return n ? hi : 0.0; }
+    double min() const
+    { return n ? lo : std::numeric_limits<double>::quiet_NaN(); }
+    double max() const
+    { return n ? hi : std::numeric_limits<double>::quiet_NaN(); }
+
+    /** Fold another accumulator in (combining per-thread shards). */
+    void
+    merge(const RunningStat &other)
+    {
+        n += other.n;
+        total += other.total;
+        lo = std::min(lo, other.lo);
+        hi = std::max(hi, other.hi);
+    }
 
     void
     reset()

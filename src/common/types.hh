@@ -84,6 +84,18 @@ domainIndex(Domain d)
     return static_cast<int>(d);
 }
 
+/**
+ * One recorded frequency change: a point in a per-domain frequency
+ * series (Figure 8 traces, telemetry frequency series). Lives here
+ * rather than in clock/ because both the DVFS engines (producers) and
+ * the observability layer (consumer) speak it.
+ */
+struct FreqTracePoint
+{
+    Tick when = 0;
+    Hertz frequency = 0.0;
+};
+
 /** Human-readable domain name. */
 const char *domainName(Domain d);
 

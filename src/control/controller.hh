@@ -94,15 +94,20 @@ class DvfsController
     /** Drop (already forwarded) requests, keeping capacity. */
     void clearRequests() { pending.clear(); }
 
+    /** Total requests emitted over the controller's lifetime. */
+    std::uint64_t requestsIssued() const { return issued; }
+
   protected:
     void
     request(Domain d, Hertz f)
     {
         pending.push_back({d, f});
+        ++issued;
     }
 
   private:
     std::vector<FreqRequest> pending;
+    std::uint64_t issued = 0;
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "experiment.hh"
 
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -108,6 +109,21 @@ read(std::istream &is, const std::string &name)
 
 namespace {
 
+/** The six matrix legs of one row, in canonical order. */
+struct LegRef
+{
+    const char *tag;
+    const RunResult *run;
+};
+
+std::array<LegRef, 6>
+legs(const BenchmarkResults &r)
+{
+    return {{{"baseline", &r.baseline}, {"mcdBaseline", &r.mcdBaseline},
+             {"dyn1", &r.dyn1}, {"dyn5", &r.dyn5},
+             {"global", &r.global}, {"online", &r.online}}};
+}
+
 /** Emit one RunResult as a JSON object. */
 void
 jsonRun(std::ostream &os, const char *indent, const RunResult &r)
@@ -130,7 +146,13 @@ jsonRun(std::ostream &os, const char *indent, const RunResult &r)
            << ", \"maxFrequencyHz\": " << s.maxFrequency
            << ", \"reconfigurations\": " << s.reconfigurations << "}";
     }
-    os << "]\n" << indent << "}";
+    os << "]";
+    if (r.telemetry) {
+        os << ",\n" << indent << "  \"stats\": ";
+        std::string inner = std::string(indent) + "  ";
+        r.telemetry->stats().writeJson(os, inner.c_str());
+    }
+    os << "\n" << indent << "}";
 }
 
 } // namespace
@@ -186,6 +208,51 @@ writeResultsJson(std::ostream &os, const ExperimentConfig &cfg,
     os << "\n  ]\n}\n";
 }
 
+std::vector<NamedRun>
+namedRuns(const std::vector<BenchmarkResults> &rows)
+{
+    std::vector<NamedRun> out;
+    out.reserve(rows.size() * 6);
+    for (const BenchmarkResults &row : rows) {
+        for (const LegRef &l : legs(row))
+            out.push_back({row.name + "/" + l.tag, l.run});
+    }
+    return out;
+}
+
+void
+writeTelemetryStatsJson(std::ostream &os,
+                        const std::vector<NamedRun> &runs)
+{
+    obs::StatsRegistry merged;
+    os << "{\n  \"runs\": {";
+    bool first = true;
+    for (const NamedRun &nr : runs) {
+        if (!nr.run || !nr.run->telemetry)
+            continue;
+        const obs::StatsRegistry &reg = nr.run->telemetry->stats();
+        merged.merge(reg);
+        os << (first ? "" : ",") << "\n    \""
+           << obs::jsonEscape(nr.name) << "\": ";
+        reg.writeJson(os, "    ");
+        first = false;
+    }
+    os << "\n  },\n  \"merged\": ";
+    merged.writeJson(os, "  ");
+    os << "\n}\n";
+}
+
+void
+writeTelemetryTrace(std::ostream &os, const std::vector<NamedRun> &runs)
+{
+    std::vector<obs::TraceProcess> procs;
+    for (const NamedRun &nr : runs) {
+        if (nr.run && nr.run->telemetry)
+            procs.push_back({nr.name, &nr.run->telemetry->trace()});
+    }
+    obs::writeChromeTrace(os, procs);
+}
+
 ExperimentRunner::ExperimentRunner(ExperimentConfig cfg)
     : config(std::move(cfg))
 {}
@@ -196,6 +263,7 @@ ExperimentRunner::makeSimConfig(ClockingStyle style) const
     SimConfig sc;
     sc.clocking = style;
     sc.seed = config.seed;
+    sc.telemetry = config.telemetry;
     return sc;
 }
 
@@ -239,6 +307,11 @@ ExperimentRunner::cachePath(const std::string &name) const
 std::optional<BenchmarkResults>
 ExperimentRunner::loadCache(const std::string &name) const
 {
+    // Cached results carry no telemetry, so a telemetry-collecting
+    // matrix must actually run (storing is still fine: telemetry does
+    // not perturb the simulation, so the records stay valid).
+    if (config.telemetry.enabled())
+        return std::nullopt;
     std::string path = cachePath(name);
     if (path.empty())
         return std::nullopt;
@@ -482,6 +555,49 @@ maybeWriteJson(const ExperimentConfig &cfg,
     writeResultsJson(os, cfg, out);
 }
 
+/** Honor MCD_STATS_OUT / MCD_TRACE_OUT: dump merged telemetry. */
+void
+maybeWriteTelemetry(const std::vector<BenchmarkResults> &out)
+{
+    auto writeTo = [](const char *env, auto writer) {
+        const char *path = std::getenv(env);
+        if (!path || !*path)
+            return;
+        std::ofstream os(path);
+        if (!os) {
+            std::fprintf(stderr, "  %s: cannot write %s\n", env, path);
+            return;
+        }
+        writer(os);
+    };
+    std::vector<NamedRun> named = namedRuns(out);
+    writeTo("MCD_STATS_OUT", [&](std::ostream &os) {
+        writeTelemetryStatsJson(os, named);
+    });
+    writeTo("MCD_TRACE_OUT", [&](std::ostream &os) {
+        writeTelemetryTrace(os, named);
+    });
+}
+
+/**
+ * The effective matrix config: MCD_TRACE_OUT / MCD_STATS_OUT imply
+ * full telemetry collection when the caller left it off.
+ */
+ExperimentConfig
+effectiveConfig(const ExperimentConfig &cfg)
+{
+    ExperimentConfig e = cfg;
+    auto set = [](const char *env) {
+        const char *v = std::getenv(env);
+        return v && *v;
+    };
+    if (!e.telemetry.enabled() &&
+        (set("MCD_TRACE_OUT") || set("MCD_STATS_OUT"))) {
+        e.telemetry = obs::TelemetryConfig::full();
+    }
+    return e;
+}
+
 } // namespace
 
 std::vector<BenchmarkResults>
@@ -492,8 +608,9 @@ runMatrix(const ExperimentConfig &cfg,
     // its (already thread-safe) lazy construction never races.
     workloads::all();
 
+    ExperimentConfig ecfg = effectiveConfig(cfg);
     std::vector<BenchmarkResults> out(names.size());
-    ExperimentRunner runner(cfg);
+    ExperimentRunner runner(ecfg);
 
     if (jobs <= 1) {
         for (std::size_t i = 0; i < names.size(); ++i) {
@@ -502,7 +619,8 @@ runMatrix(const ExperimentConfig &cfg,
                              names[i].c_str());
             out[i] = runner.runBenchmark(names[i]);
         }
-        maybeWriteJson(cfg, out);
+        maybeWriteJson(ecfg, out);
+        maybeWriteTelemetry(out);
         return out;
     }
 
@@ -524,7 +642,8 @@ runMatrix(const ExperimentConfig &cfg,
     // Collect in workload order, independent of completion order.
     for (std::size_t i = 0; i < names.size(); ++i)
         out[i] = pool.wait(futs[i]);
-    maybeWriteJson(cfg, out);
+    maybeWriteJson(ecfg, out);
+    maybeWriteTelemetry(out);
     return out;
 }
 

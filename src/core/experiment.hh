@@ -55,6 +55,14 @@ struct ExperimentConfig
     bool recordFreqTrace = false;   //!< per-domain traces (Figure 8)
     std::string cacheDir;           //!< empty = caching disabled
 
+    /**
+     * Telemetry channels for every run in the matrix. When any channel
+     * is on, the disk cache is bypassed (cached results carry no
+     * telemetry). runMatrix() turns this on automatically when
+     * MCD_TRACE_OUT or MCD_STATS_OUT is set.
+     */
+    obs::TelemetryConfig telemetry;
+
     /** Attack/decay parameters for the online-control column. */
     OnlineQueueParams online;
 };
@@ -126,6 +134,37 @@ std::optional<BenchmarkResults> read(std::istream &is,
  */
 void writeResultsJson(std::ostream &os, const ExperimentConfig &cfg,
                       const std::vector<BenchmarkResults> &rows);
+
+/** One labeled run for the telemetry writers (run not owned). */
+struct NamedRun
+{
+    std::string name;           //!< e.g. "adpcm/online"
+    const RunResult *run = nullptr;
+};
+
+/**
+ * Emit the telemetry stats of every named run that collected any, as
+ * one JSON object: per-run registries keyed by name plus a "merged"
+ * registry folding all runs together.
+ */
+void writeTelemetryStatsJson(std::ostream &os,
+                             const std::vector<NamedRun> &runs);
+
+/**
+ * Emit one merged Chrome trace (chrome://tracing / Perfetto JSON)
+ * with a process per named run, in the given order.
+ */
+void writeTelemetryTrace(std::ostream &os,
+                         const std::vector<NamedRun> &runs);
+
+/**
+ * The matrix rows flattened to "bench/leg" names in deterministic
+ * row-then-leg order (baseline, mcdBaseline, dyn1, dyn5, global,
+ * online), for the writers above. runMatrix() writes both documents
+ * automatically to the paths named by MCD_STATS_OUT / MCD_TRACE_OUT.
+ */
+std::vector<NamedRun>
+namedRuns(const std::vector<BenchmarkResults> &rows);
 
 /**
  * Runs experiment matrices, with optional on-disk caching.

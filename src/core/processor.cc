@@ -1,6 +1,8 @@
 #include "processor.hh"
 
 #include <algorithm>
+#include <cctype>
+#include <string>
 
 #include "common/log.hh"
 
@@ -63,14 +65,22 @@ McdProcessor::McdProcessor(const SimConfig &config, const Program &program)
         cfg.core, oracle, *memory, clocks, cfg.syncFraction,
         power.get(), &collector);
 
+    // Telemetry context: the Figure 8 trace now reads the sampler's
+    // frequency series, so recordFreqTrace forces that channel on even
+    // when the caller's TelemetryConfig is all-off.
+    obs::TelemetryConfig tc = cfg.telemetry;
+    tc.freqSeries = tc.freqSeries || cfg.recordFreqTrace;
+    if (tc.enabled())
+        telem = std::make_shared<obs::Telemetry>(tc);
+
     if (mcd) {
         DvfsParams dp = DvfsParams::forKind(cfg.dvfs, cfg.dvfsTimeScale);
         for (int d = 0; d < numDomains; ++d) {
             dvfs[d] = std::make_unique<DomainDvfs>(
                 dp, opTable, *clocks[d],
                 cfg.seed * 31337 + d * 271 + 7);
-            if (cfg.recordFreqTrace)
-                dvfs[d]->enableTrace();
+            if (telem)
+                dvfs[d]->attachTelemetry(telem.get());
         }
     }
 
@@ -107,6 +117,10 @@ McdProcessor::observeAndControl(Domain d, int di, Tick now)
 
     if (!controller->requests().empty()) {
         for (const FreqRequest &q : controller->requests()) {
+            if (telem) {
+                telem->onControllerDecision(controller->name(), q.domain,
+                                            now, q.frequency);
+            }
             if (DomainDvfs *engine = dvfs[domainIndex(q.domain)].get())
                 engine->requestFrequency(now, q.frequency);
         }
@@ -114,6 +128,26 @@ McdProcessor::observeAndControl(Domain d, int di, Tick now)
     }
     if (Tick period = controller->samplePeriod())
         nextObserve[di] = now + period;
+}
+
+/** Snapshot all domains for the periodic telemetry sampler. */
+void
+McdProcessor::captureSample(Tick now)
+{
+    obs::TimeSample s;
+    s.when = now;
+    for (int d = 0; d < numDomains; ++d) {
+        Domain dom = static_cast<Domain>(d);
+        s.frequency[d] = clocks[d]->frequency();
+        s.voltage[d] = clocks[d]->voltage();
+        int cap = pipe->queueCapacity(dom);
+        s.occupancy[d] = cap > 0
+            ? static_cast<double>(pipe->queueLength(dom)) /
+                  static_cast<double>(cap)
+            : 0.0;
+        s.energy[d] = power->domainEnergy(dom);
+    }
+    telem->onSample(s);
 }
 
 RunResult
@@ -178,11 +212,18 @@ McdProcessor::run()
         }
     }
 
+    // Periodic telemetry sampling piggybacks on the event loop: the
+    // due time is mirrored in a local so the hot path pays one compare
+    // per edge (`never` keeps the branch dead when sampling is off).
+    Tick nextSample = telem
+        ? telem->sampler().nextDue() : obs::TimeSeriesSampler::never;
+
     while (!stop()) {
+        Tick t;
         if (mcd) {
             // Advance the clock with the earliest pending edge.
             ClockDomain *next = ownedClocks[minClock].get();
-            Tick t = next->advance();
+            t = next->advance();
             tickOne(next->id(), t);
             nextEdgeCache[minClock] = next->peekNextEdge();
             minClock = 0;
@@ -191,11 +232,16 @@ McdProcessor::run()
                     minClock = d;
             }
         } else {
-            Tick t = ownedClocks[0]->advance();
+            t = ownedClocks[0]->advance();
             // One global clock: all four logical domains tick in
             // pipeline order at every edge.
             for (int d = 0; d < numDomains; ++d)
                 tickOne(static_cast<Domain>(d), t);
+        }
+
+        if (t >= nextSample) {
+            captureSample(t);
+            nextSample = telem->sampler().nextDue();
         }
 
         // Watchdog against model deadlocks.
@@ -241,11 +287,82 @@ McdProcessor::run()
         s.maxFrequency = maxFreq[d];
         if (mcd && dvfs[d]) {
             s.reconfigurations = dvfs[d]->reconfigurations();
-            if (cfg.recordFreqTrace)
-                r.freqTraces[d] = dvfs[d]->trace();
+            if (cfg.recordFreqTrace) {
+                r.freqTraces[d] = telem->sampler()
+                    .frequencyTrace(static_cast<Domain>(d));
+            }
         }
     }
+
+    if (telem) {
+        publishSummaryStats(r);
+        r.telemetry = telem;
+    }
     return r;
+}
+
+/**
+ * Fold the run's end-of-run summary into the stats registry so the
+ * stats JSON stands alone: per-domain cycle/energy/frequency summaries
+ * plus the pipeline and control-plane aggregates, alongside the
+ * event-driven counters the hooks accumulated during the run.
+ */
+void
+McdProcessor::publishSummaryStats(const RunResult &r)
+{
+    obs::StatsRegistry &reg = telem->stats();
+
+    reg.counter("run.committed", "committed instructions")
+        .inc(r.committed);
+    reg.gauge("run.exec_time_ps", "time of the last commit")
+        .set(static_cast<double>(r.execTime));
+    reg.gauge("run.ipc", "committed per front-end cycle").set(r.ipc);
+    reg.gauge("run.energy_j", "total energy").set(r.totalEnergy);
+
+    for (int d = 0; d < numDomains; ++d) {
+        std::string p = "domain.";
+        for (const char *c = domainShortName(static_cast<Domain>(d));
+             *c; ++c) {
+            p += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(*c)));
+        }
+        p += '.';
+        const DomainSummary &s = r.domains[d];
+        reg.counter(p + "cycles", "domain clock edges").inc(s.cycles);
+        reg.gauge(p + "energy_j", "domain energy").set(s.energy);
+        reg.gauge(p + "avg_mhz", "time-weighted mean frequency")
+            .set(s.avgFrequency / 1e6);
+        reg.gauge(p + "min_mhz", "lowest frequency seen")
+            .set(s.minFrequency / 1e6);
+        reg.gauge(p + "max_mhz", "highest frequency seen")
+            .set(s.maxFrequency / 1e6);
+        reg.counter(p + "reconfigurations",
+                    "target changes accepted by the DVFS engine")
+            .inc(s.reconfigurations);
+    }
+
+    const PipelineStats &ps = r.pipeline;
+    reg.counter("pipeline.fetched", "instructions fetched")
+        .inc(ps.fetched);
+    reg.counter("pipeline.mispredicts", "branch mispredictions")
+        .inc(ps.mispredicts);
+    reg.counter("pipeline.sync.commit_stalls",
+                "commit blocked on a cross-domain completion signal")
+        .inc(ps.syncCommitStalls);
+    reg.counter("pipeline.sync.dispatch_waits",
+                "queue entries not yet visible across a boundary")
+        .inc(ps.syncDispatchWaits);
+    reg.counter("pipeline.sync.addr_waits",
+                "LSQ waits on an address from the integer domain")
+        .inc(ps.syncAddrWaits);
+
+    if (controller) {
+        std::string p = "control.";
+        p += controller->name();
+        reg.counter(p + ".requests_issued",
+                    "frequency requests emitted by the policy")
+            .inc(controller->requestsIssued());
+    }
 }
 
 } // namespace mcd

@@ -55,8 +55,16 @@ class McdProcessor
     /** The active frequency controller (nullptr for static runs). */
     const DvfsController *controllerInUse() const { return controller; }
 
+    /** A domain's DVFS engine, nullptr when singly clocked (test hook). */
+    DomainDvfs *dvfsEngine(Domain d) { return dvfs[domainIndex(d)].get(); }
+
+    /** The run's telemetry context; null when all channels are off. */
+    const obs::Telemetry *telemetry() const { return telem.get(); }
+
   private:
     void observeAndControl(Domain d, int di, Tick now);
+    void captureSample(Tick now);
+    void publishSummaryStats(const RunResult &r);
 
     SimConfig cfg;
     Program prog;       //!< owned copy: callers may pass temporaries
@@ -78,6 +86,9 @@ class McdProcessor
     DvfsController *controller = nullptr;
     std::unique_ptr<DvfsController> ownedController;
     std::array<Tick, numDomains> nextObserve{};
+
+    // Per-run telemetry (never shared across threads while running).
+    std::shared_ptr<obs::Telemetry> telem;
 };
 
 } // namespace mcd

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "clock/dvfs.hh"
@@ -16,6 +17,7 @@
 #include "cpu/pipeline.hh"
 #include "mem/cache.hh"
 #include "mem/hierarchy.hh"
+#include "obs/telemetry.hh"
 #include "power/energy_params.hh"
 
 namespace mcd {
@@ -64,6 +66,13 @@ struct SimConfig
     /** Record per-domain frequency traces (Figure 8). */
     bool recordFreqTrace = false;
 
+    /**
+     * Telemetry channels for this run (stats registry, periodic
+     * sampler, Chrome trace events). recordFreqTrace implies the
+     * frequency series channel even when this is all-off.
+     */
+    obs::TelemetryConfig telemetry;
+
     /** Collect the primitive-event trace (profiling runs). */
     bool collectTrace = false;
 
@@ -102,6 +111,14 @@ struct RunResult
 
     /** Per-domain frequency traces when recordFreqTrace was set. */
     std::array<std::vector<FreqTracePoint>, numDomains> freqTraces;
+
+    /**
+     * The run's telemetry context (stats registry, sampler, trace
+     * events) when SimConfig::telemetry enabled any channel; null
+     * otherwise. Shared so results can be copied cheaply; the
+     * telemetry itself is immutable once the run finishes.
+     */
+    std::shared_ptr<const obs::Telemetry> telemetry;
 };
 
 } // namespace mcd

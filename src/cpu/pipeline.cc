@@ -160,6 +160,7 @@ Pipeline::commitStage(Tick now)
             break;
         if (!rule(in->completionDomain(), Domain::FrontEnd)
                  .visible(in->completionTime(), now)) {
+            ++stat.syncCommitStalls;
             break;
         }
 
@@ -514,6 +515,7 @@ Pipeline::tickInteger(Tick now)
             continue;
         if (!rule(Domain::FrontEnd, Domain::Integer).visible(ent.wrote,
                                                              now)) {
+            ++stat.syncDispatchWaits;
             continue;
         }
 
@@ -595,6 +597,7 @@ Pipeline::tickFloat(Tick now)
             continue;
         if (!rule(Domain::FrontEnd, Domain::FloatingPoint)
                  .visible(ent.wrote, now)) {
+            ++stat.syncDispatchWaits;
             continue;
         }
         if (!operandsReady(in, Domain::FloatingPoint, now))
@@ -658,13 +661,18 @@ Pipeline::tickLoadStore(Tick now)
         DynInst *in = lsq[i].in;
         if (in->memIssued)
             continue;
-        if (!feToLs.visible(lsq[i].wrote, now))
+        if (!feToLs.visible(lsq[i].wrote, now)) {
+            ++stat.syncDispatchWaits;
             break;  // later entries were written even later
+        }
 
         bool addrVisible = in->issued &&
             intToLs.visible(in->execDoneTime, now);
-        if (!addrVisible)
+        if (!addrVisible) {
+            if (in->issued)
+                ++stat.syncAddrWaits;
             continue;
+        }
 
         if (in->isStoreOp()) {
             // Stores need their data before writing the cache.

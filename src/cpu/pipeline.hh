@@ -72,6 +72,14 @@ struct PipelineStats
     std::uint64_t intIqResidencePs = 0; //!< dispatch->issue, summed
     std::uint64_t lsqFullStalls = 0;
     std::uint64_t regFullStalls = 0;
+
+    // Cross-domain synchronization waits (zero when singly clocked:
+    // same-domain rules are always visible). Counted per blocked
+    // probe, not per instruction, so a value crossing late is charged
+    // once per edge it delays the consumer.
+    std::uint64_t syncCommitStalls = 0;   //!< completion signal to ROB
+    std::uint64_t syncDispatchWaits = 0;  //!< queue entry not yet visible
+    std::uint64_t syncAddrWaits = 0;      //!< address from int domain to LSQ
 };
 
 /**

@@ -1,0 +1,201 @@
+#include "stats_registry.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "common/log.hh"
+
+namespace mcd {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : ubounds(std::move(upper_bounds)), counts(ubounds.size() + 1, 0)
+{
+    mcdAssert(std::is_sorted(ubounds.begin(), ubounds.end()),
+              "Histogram bounds must be ascending");
+}
+
+void
+Histogram::add(double v)
+{
+    // Bucket counts are small (typically < 16); a linear scan beats a
+    // binary search at this size and stays branch-predictable for the
+    // common low buckets.
+    std::size_t i = 0;
+    while (i < ubounds.size() && v > ubounds[i])
+        ++i;
+    ++counts[i];
+    stats.add(v);
+}
+
+double
+Histogram::upperBound(std::size_t i) const
+{
+    return i < ubounds.size() ? ubounds[i]
+                              : std::numeric_limits<double>::infinity();
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    mcdAssert(ubounds == other.ubounds,
+              "Histogram::merge: bucket bounds differ");
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    stats.merge(other.stats);
+}
+
+StatsRegistry::Entry &
+StatsRegistry::getOrCreate(const std::string &name, std::string desc,
+                           StatKind kind, std::vector<double> bounds)
+{
+    auto it = index.find(name);
+    if (it != index.end()) {
+        Entry &e = items[it->second];
+        if (e.kind() != kind) {
+            panic("StatsRegistry: '" + name +
+                  "' re-registered as a different kind");
+        }
+        return e;
+    }
+    Entry e;
+    e.name = name;
+    e.desc = std::move(desc);
+    switch (kind) {
+      case StatKind::Counter: e.stat = Counter{}; break;
+      case StatKind::Gauge: e.stat = Gauge{}; break;
+      case StatKind::Histogram:
+        e.stat = Histogram(std::move(bounds));
+        break;
+    }
+    index.emplace(name, items.size());
+    items.push_back(std::move(e));
+    return items.back();
+}
+
+Counter &
+StatsRegistry::counter(const std::string &name, std::string desc)
+{
+    return std::get<Counter>(
+        getOrCreate(name, std::move(desc), StatKind::Counter).stat);
+}
+
+Gauge &
+StatsRegistry::gauge(const std::string &name, std::string desc)
+{
+    return std::get<Gauge>(
+        getOrCreate(name, std::move(desc), StatKind::Gauge).stat);
+}
+
+Histogram &
+StatsRegistry::histogram(const std::string &name,
+                         std::vector<double> upper_bounds,
+                         std::string desc)
+{
+    return std::get<Histogram>(
+        getOrCreate(name, std::move(desc), StatKind::Histogram,
+                    std::move(upper_bounds)).stat);
+}
+
+const StatsRegistry::Entry *
+StatsRegistry::find(std::string_view name) const
+{
+    auto it = index.find(std::string(name));
+    return it == index.end() ? nullptr : &items[it->second];
+}
+
+std::vector<const StatsRegistry::Entry *>
+StatsRegistry::withPrefix(std::string_view prefix) const
+{
+    std::vector<const Entry *> out;
+    for (const Entry &e : items) {
+        if (e.name.size() < prefix.size() ||
+            e.name.compare(0, prefix.size(), prefix) != 0) {
+            continue;
+        }
+        if (e.name.size() == prefix.size() ||
+            e.name[prefix.size()] == '.') {
+            out.push_back(&e);
+        }
+    }
+    return out;
+}
+
+void
+StatsRegistry::merge(const StatsRegistry &other)
+{
+    for (const Entry &oe : other.items) {
+        switch (oe.kind()) {
+          case StatKind::Counter:
+            counter(oe.name, oe.desc)
+                .inc(std::get<Counter>(oe.stat).value());
+            break;
+          case StatKind::Gauge:
+            gauge(oe.name, oe.desc).set(std::get<Gauge>(oe.stat).value());
+            break;
+          case StatKind::Histogram: {
+            const Histogram &oh = std::get<Histogram>(oe.stat);
+            histogram(oe.name, oh.bounds(), oe.desc).merge(oh);
+            break;
+          }
+        }
+    }
+}
+
+namespace {
+
+/** JSON-safe number: finite values verbatim, NaN/inf as null. */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (std::isfinite(v))
+        os << v;
+    else
+        os << "null";
+}
+
+} // namespace
+
+void
+StatsRegistry::writeJson(std::ostream &os, const char *indent) const
+{
+    os << "{";
+    bool first = true;
+    for (const Entry &e : items) {
+        os << (first ? "" : ",") << "\n" << indent << "  \"" << e.name
+           << "\": ";
+        first = false;
+        switch (e.kind()) {
+          case StatKind::Counter:
+            os << std::get<Counter>(e.stat).value();
+            break;
+          case StatKind::Gauge:
+            jsonNumber(os, std::get<Gauge>(e.stat).value());
+            break;
+          case StatKind::Histogram: {
+            const Histogram &h = std::get<Histogram>(e.stat);
+            const RunningStat &s = h.summary();
+            os << "{\"count\": " << s.count() << ", \"sum\": ";
+            jsonNumber(os, s.sum());
+            os << ", \"min\": ";
+            jsonNumber(os, s.empty() ? 0.0 : s.min());
+            os << ", \"max\": ";
+            jsonNumber(os, s.empty() ? 0.0 : s.max());
+            os << ", \"buckets\": [";
+            for (std::size_t i = 0; i < h.numBuckets(); ++i) {
+                os << (i ? ", " : "") << "{\"le\": ";
+                jsonNumber(os, h.upperBound(i));
+                os << ", \"count\": " << h.bucketCount(i) << "}";
+            }
+            os << "]}";
+            break;
+          }
+        }
+    }
+    os << "\n" << indent << "}";
+}
+
+} // namespace obs
+} // namespace mcd

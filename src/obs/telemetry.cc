@@ -1,0 +1,131 @@
+#include "telemetry.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mcd {
+namespace obs {
+
+namespace {
+
+std::string
+domainStat(const char *group, Domain d, const char *leaf)
+{
+    std::string s(group);
+    s += '.';
+    for (const char *p = domainShortName(d); *p; ++p)
+        s += static_cast<char>(std::tolower(
+            static_cast<unsigned char>(*p)));
+    s += '.';
+    s += leaf;
+    return s;
+}
+
+std::string
+mhzArgs(Hertz f)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "\"mhz\": %.17g", f / 1e6);
+    return buf;
+}
+
+} // namespace
+
+TelemetryConfig
+TelemetryConfig::full(Tick period_ps)
+{
+    TelemetryConfig c;
+    c.samplePeriod = period_ps;
+    c.traceEvents = true;
+    c.freqSeries = true;
+    return c;
+}
+
+Telemetry::Telemetry(const TelemetryConfig &config)
+    : cfg(config), ts(config.samplePeriod), exp(config.traceEvents)
+{
+    // Occupancy buckets: ten even fill-fraction deciles.
+    std::vector<double> occBounds;
+    for (int i = 1; i <= 10; ++i)
+        occBounds.push_back(0.1 * i);
+
+    for (int d = 0; d < numDomains; ++d) {
+        Domain dom = static_cast<Domain>(d);
+        freqChanges[d] = &reg.counter(
+            domainStat("clock", dom, "freq_changes"),
+            "frequency changes applied to the domain clock");
+        relockWindows[d] = &reg.counter(
+            domainStat("clock", dom, "relock_windows"),
+            "PLL re-lock idle windows entered");
+        relockPs[d] = &reg.counter(
+            domainStat("clock", dom, "relock_ps"),
+            "picoseconds spent idle in PLL re-lock");
+        decisions[d] = &reg.counter(
+            domainStat("control", dom, "requests"),
+            "frequency requests a controller issued for the domain");
+        occupancyHist[d] = &reg.histogram(
+            domainStat("pipeline", dom, "occupancy"), occBounds,
+            "sampled fill fraction of the domain's primary queue");
+    }
+}
+
+void
+Telemetry::onFrequencyChange(Domain d, Tick when, Hertz f)
+{
+    freqChanges[domainIndex(d)]->inc();
+    if (cfg.freqSeries)
+        ts.noteFrequency(d, when, f);
+    if (exp.enabled()) {
+        std::string name(domainShortName(d));
+        name += " frequency";
+        exp.counter(std::move(name), "MHz", domainIndex(d), when, f / 1e6);
+    }
+}
+
+void
+Telemetry::onRelockWindow(Domain d, Tick start, Tick end)
+{
+    int di = domainIndex(d);
+    relockWindows[di]->inc();
+    relockPs[di]->inc(end - start);
+    if (exp.enabled())
+        exp.complete("PLL re-lock", "dvfs", di, start, end - start);
+}
+
+void
+Telemetry::onControllerDecision(const char *controller, Domain d,
+                                Tick when, Hertz target)
+{
+    decisions[domainIndex(d)]->inc();
+    if (exp.enabled()) {
+        std::string args = mhzArgs(target);
+        args += ", \"controller\": \"";
+        args += jsonEscape(controller);
+        args += "\"";
+        std::string name("request ");
+        name += domainShortName(d);
+        exp.instant(std::move(name), "control", domainIndex(d), when,
+                    std::move(args));
+    }
+}
+
+void
+Telemetry::onSample(const TimeSample &s)
+{
+    for (int d = 0; d < numDomains; ++d)
+        occupancyHist[d]->add(s.occupancy[d]);
+    if (exp.enabled()) {
+        for (int d = 0; d < numDomains; ++d) {
+            std::string name(domainShortName(static_cast<Domain>(d)));
+            name += " occupancy";
+            exp.counter(std::move(name), "fill", d, s.when,
+                        s.occupancy[d]);
+        }
+    }
+    ts.record(s);
+}
+
+} // namespace obs
+} // namespace mcd

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The per-run telemetry context: one StatsRegistry, one
+ * TimeSeriesSampler, and one TraceExporter, plus the event hooks the
+ * instrumented components call.
+ *
+ * Ownership and threading model: every simulated run (one McdProcessor)
+ * owns exactly one Telemetry, so nothing here is locked — the PR 1
+ * experiment thread pool runs one leg per thread and each leg's
+ * telemetry is private to it. Merged views (matrix stats JSON, the
+ * combined Chrome trace) are built after the runs complete, on the
+ * collecting thread.
+ *
+ * Hooks are no-ops for disabled channels; the hot-loop cost of a
+ * fully disabled Telemetry is one null-pointer test at the call site
+ * (components hold a Telemetry* that is nullptr when observability is
+ * off).
+ */
+
+#ifndef MCD_OBS_TELEMETRY_HH
+#define MCD_OBS_TELEMETRY_HH
+
+#include <array>
+
+#include "common/types.hh"
+#include "obs/stats_registry.hh"
+#include "obs/time_series.hh"
+#include "obs/trace_export.hh"
+
+namespace mcd {
+namespace obs {
+
+/** Which telemetry channels a run collects. */
+struct TelemetryConfig
+{
+    /** Periodic sampling period in picoseconds; 0 = off. */
+    Tick samplePeriod = 0;
+
+    /** Collect Chrome trace events. */
+    bool traceEvents = false;
+
+    /** Record exact per-domain frequency series (Figure 8). */
+    bool freqSeries = false;
+
+    bool
+    enabled() const
+    {
+        return samplePeriod != 0 || traceEvents || freqSeries;
+    }
+
+    /** Everything on, sampling at @p period_ps (default 10 us). */
+    static TelemetryConfig full(Tick period_ps = fromMicroseconds(10.0));
+};
+
+class Telemetry
+{
+  public:
+    explicit Telemetry(const TelemetryConfig &config);
+
+    const TelemetryConfig &config() const { return cfg; }
+
+    StatsRegistry &stats() { return reg; }
+    const StatsRegistry &stats() const { return reg; }
+    TimeSeriesSampler &sampler() { return ts; }
+    const TimeSeriesSampler &sampler() const { return ts; }
+    TraceExporter &trace() { return exp; }
+    const TraceExporter &trace() const { return exp; }
+
+    // ----- hooks, called by the instrumented components -----
+
+    /** Domain @p d switched to frequency @p f at time @p when. */
+    void onFrequencyChange(Domain d, Tick when, Hertz f);
+
+    /** Domain @p d is idle re-locking its PLL over [start, end). */
+    void onRelockWindow(Domain d, Tick start, Tick end);
+
+    /**
+     * A controller issued a frequency request. @p controller is the
+     * policy name (DvfsController::name()).
+     */
+    void onControllerDecision(const char *controller, Domain d,
+                              Tick when, Hertz target);
+
+    /** A periodic sample captured by the simulator loop. */
+    void onSample(const TimeSample &s);
+
+  private:
+    TelemetryConfig cfg;
+    StatsRegistry reg;
+    TimeSeriesSampler ts;
+    TraceExporter exp;
+
+    // Pre-registered hot-path stats (stable registry references).
+    std::array<Counter *, numDomains> freqChanges{};
+    std::array<Counter *, numDomains> relockWindows{};
+    std::array<Counter *, numDomains> relockPs{};
+    std::array<Counter *, numDomains> decisions{};
+    std::array<Histogram *, numDomains> occupancyHist{};
+};
+
+} // namespace obs
+} // namespace mcd
+
+#endif // MCD_OBS_TELEMETRY_HH

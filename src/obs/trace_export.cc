@@ -1,0 +1,147 @@
+#include "trace_export.hh"
+
+#include <cstdio>
+#include <ostream>
+
+namespace mcd {
+namespace obs {
+
+void
+TraceExporter::complete(std::string name, std::string category, int tid,
+                        Tick start, Tick dur, std::string args)
+{
+    if (!on)
+        return;
+    TraceEvent e;
+    e.phase = 'X';
+    e.tid = tid;
+    e.ts = start;
+    e.dur = dur;
+    e.name = std::move(name);
+    e.category = std::move(category);
+    e.args = std::move(args);
+    evts.push_back(std::move(e));
+}
+
+void
+TraceExporter::instant(std::string name, std::string category, int tid,
+                       Tick ts, std::string args)
+{
+    if (!on)
+        return;
+    TraceEvent e;
+    e.phase = 'i';
+    e.tid = tid;
+    e.ts = ts;
+    e.name = std::move(name);
+    e.category = std::move(category);
+    e.args = std::move(args);
+    evts.push_back(std::move(e));
+}
+
+void
+TraceExporter::counter(std::string name, const char *series, int tid,
+                       Tick ts, double value)
+{
+    if (!on)
+        return;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"%s\": %.17g", series, value);
+    TraceEvent e;
+    e.phase = 'C';
+    e.tid = tid;
+    e.ts = ts;
+    e.name = std::move(name);
+    e.args = buf;
+    evts.push_back(std::move(e));
+}
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Picoseconds to the trace's microsecond axis, full precision. */
+std::string
+tsMicros(Tick ps)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%llu.%06llu",
+                  static_cast<unsigned long long>(ps / 1'000'000),
+                  static_cast<unsigned long long>(ps % 1'000'000));
+    return buf;
+}
+
+void
+writeMetadata(std::ostream &os, bool &first, int pid, int tid,
+              const char *kind, const std::string &value)
+{
+    os << (first ? "" : ",") << "\n  {\"ph\": \"M\", \"pid\": " << pid
+       << ", \"tid\": " << tid << ", \"name\": \"" << kind
+       << "\", \"args\": {\"name\": \"" << jsonEscape(value) << "\"}}";
+    first = false;
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<TraceProcess> &processes)
+{
+    os << "{\n\"traceEvents\": [";
+    bool first = true;
+    for (std::size_t p = 0; p < processes.size(); ++p) {
+        const TraceProcess &proc = processes[p];
+        int pid = static_cast<int>(p) + 1;
+        writeMetadata(os, first, pid, 0, "process_name", proc.name);
+        for (int d = 0; d < numDomains; ++d) {
+            writeMetadata(os, first, pid, d, "thread_name",
+                          domainName(static_cast<Domain>(d)));
+        }
+        if (!proc.trace)
+            continue;
+        for (const TraceEvent &e : proc.trace->events()) {
+            os << (first ? "" : ",") << "\n  {\"ph\": \"" << e.phase
+               << "\", \"pid\": " << pid << ", \"tid\": " << e.tid
+               << ", \"ts\": " << tsMicros(e.ts);
+            first = false;
+            if (e.phase == 'X')
+                os << ", \"dur\": " << tsMicros(e.dur);
+            if (e.phase == 'i')
+                os << ", \"s\": \"t\"";
+            os << ", \"name\": \"" << jsonEscape(e.name) << "\"";
+            if (!e.category.empty())
+                os << ", \"cat\": \"" << jsonEscape(e.category) << "\"";
+            if (!e.args.empty())
+                os << ", \"args\": {" << e.args << "}";
+            os << "}";
+        }
+    }
+    os << "\n],\n\"displayTimeUnit\": \"ns\"\n}\n";
+}
+
+} // namespace obs
+} // namespace mcd

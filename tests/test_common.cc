@@ -120,17 +120,62 @@ TEST(RunningStat, Basics)
 {
     RunningStat s;
     EXPECT_EQ(s.count(), 0u);
+    EXPECT_TRUE(s.empty());
     EXPECT_DOUBLE_EQ(s.mean(), 0.0);
     s.add(1.0);
     s.add(2.0);
     s.add(3.0);
     EXPECT_EQ(s.count(), 3u);
+    EXPECT_FALSE(s.empty());
     EXPECT_DOUBLE_EQ(s.sum(), 6.0);
     EXPECT_DOUBLE_EQ(s.mean(), 2.0);
     EXPECT_DOUBLE_EQ(s.min(), 1.0);
     EXPECT_DOUBLE_EQ(s.max(), 3.0);
     s.reset();
     EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(RunningStat, EmptyExtremaAreNaN)
+{
+    // 0.0 is a valid observed value, so an empty series must not
+    // report it as an extremum.
+    RunningStat s;
+    EXPECT_TRUE(std::isnan(s.min()));
+    EXPECT_TRUE(std::isnan(s.max()));
+    s.add(-2.5);
+    EXPECT_DOUBLE_EQ(s.min(), -2.5);
+    EXPECT_DOUBLE_EQ(s.max(), -2.5);
+    s.reset();
+    EXPECT_TRUE(std::isnan(s.min()));
+    EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(RunningStat, Merge)
+{
+    RunningStat a;
+    a.add(1.0);
+    a.add(5.0);
+    RunningStat b;
+    b.add(-3.0);
+
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 3.0);
+    EXPECT_DOUBLE_EQ(a.min(), -3.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+
+    // Merging an empty shard changes nothing; merging into an empty
+    // shard adopts the other's extrema.
+    RunningStat empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.min(), -3.0);
+
+    RunningStat c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 3u);
+    EXPECT_DOUBLE_EQ(c.min(), -3.0);
+    EXPECT_DOUBLE_EQ(c.max(), 5.0);
 }
 
 TEST(Format, Percent)

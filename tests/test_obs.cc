@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Tests for the telemetry layer (src/obs): stats registry, time-series
+ * sampler, Chrome-trace export, and their wiring through McdProcessor
+ * and the experiment matrix.
+ */
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/schedule.hh"
+#include "core/experiment.hh"
+#include "core/processor.hh"
+#include "obs/stats_registry.hh"
+#include "obs/telemetry.hh"
+#include "obs/time_series.hh"
+#include "obs/trace_export.hh"
+#include "workloads/workloads.hh"
+
+namespace mcd {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::StatKind;
+using obs::StatsRegistry;
+using obs::TimeSample;
+using obs::TimeSeriesSampler;
+
+/** Structural JSON check: balanced braces/brackets outside strings. */
+void
+expectBalancedJson(const std::string &text)
+{
+    int brace = 0, bracket = 0;
+    bool inString = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (inString) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        switch (c) {
+          case '"': inString = true; break;
+          case '{': ++brace; break;
+          case '}': --brace; break;
+          case '[': ++bracket; break;
+          case ']': --bracket; break;
+        }
+        EXPECT_GE(brace, 0);
+        EXPECT_GE(bracket, 0);
+    }
+    EXPECT_EQ(brace, 0);
+    EXPECT_EQ(bracket, 0);
+    EXPECT_FALSE(inString);
+}
+
+TEST(StatsRegistry, LookupAndIteration)
+{
+    StatsRegistry reg;
+    Counter &c = reg.counter("clock.int.freq_changes", "changes");
+    Gauge &g = reg.gauge("run.ipc");
+    c.inc();
+    c.inc(4);
+    g.set(1.25);
+
+    // Registration is idempotent: same name, same object.
+    EXPECT_EQ(&reg.counter("clock.int.freq_changes"), &c);
+    EXPECT_EQ(reg.size(), 2u);
+
+    const StatsRegistry::Entry *e = reg.find("clock.int.freq_changes");
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->kind(), StatKind::Counter);
+    EXPECT_EQ(std::get<Counter>(e->stat).value(), 5u);
+    EXPECT_EQ(e->desc, "changes");
+    EXPECT_EQ(reg.find("nope"), nullptr);
+
+    // entries() preserves registration order.
+    EXPECT_EQ(reg.entries()[0].name, "clock.int.freq_changes");
+    EXPECT_EQ(reg.entries()[1].name, "run.ipc");
+}
+
+TEST(StatsRegistry, WithPrefixRespectsDottedBoundaries)
+{
+    StatsRegistry reg;
+    reg.counter("clock.int.x");
+    reg.counter("clock.fp.x");
+    reg.counter("clocking.y");   // must NOT match prefix "clock"
+    reg.counter("clock");        // exact match counts
+
+    auto under = reg.withPrefix("clock");
+    ASSERT_EQ(under.size(), 3u);
+    EXPECT_EQ(under[0]->name, "clock.int.x");
+    EXPECT_EQ(under[1]->name, "clock.fp.x");
+    EXPECT_EQ(under[2]->name, "clock");
+
+    EXPECT_EQ(reg.withPrefix("clock.int").size(), 1u);
+    EXPECT_TRUE(reg.withPrefix("missing").empty());
+}
+
+TEST(StatsRegistry, MergeCombinesByName)
+{
+    StatsRegistry a;
+    a.counter("n").inc(3);
+    a.gauge("g").set(1.0);
+    a.histogram("h", {1.0, 2.0}).add(0.5);
+
+    StatsRegistry b;
+    b.counter("n").inc(4);
+    b.gauge("g").set(7.0);
+    b.histogram("h", {1.0, 2.0}).add(5.0);
+    b.counter("only_in_b").inc(9);
+
+    a.merge(b);
+    EXPECT_EQ(a.counter("n").value(), 7u);
+    EXPECT_DOUBLE_EQ(a.gauge("g").value(), 7.0);    // later value wins
+    const Histogram &h = a.histogram("h", {1.0, 2.0});
+    EXPECT_EQ(h.summary().count(), 2u);
+    EXPECT_EQ(h.bucketCount(0), 1u);    // 0.5 <= 1.0
+    EXPECT_EQ(h.bucketCount(2), 1u);    // 5.0 overflows
+    EXPECT_EQ(a.counter("only_in_b").value(), 9u);
+}
+
+TEST(Histogram, BucketingIsUpperInclusive)
+{
+    Histogram h({0.5, 1.0});
+    h.add(0.5);     // first bucket (inclusive upper bound)
+    h.add(0.50001); // second bucket
+    h.add(1.0);     // second bucket
+    h.add(42.0);    // overflow
+    ASSERT_EQ(h.numBuckets(), 3u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_DOUBLE_EQ(h.upperBound(0), 0.5);
+    EXPECT_TRUE(std::isinf(h.upperBound(2)));
+    EXPECT_EQ(h.summary().count(), 4u);
+    EXPECT_DOUBLE_EQ(h.summary().max(), 42.0);
+}
+
+TEST(TimeSeriesSampler, PeriodSemantics)
+{
+    TimeSeriesSampler s(100);
+    EXPECT_TRUE(s.enabled());
+    // The first sample is due at one full period, not at t=0.
+    EXPECT_EQ(s.nextDue(), 100u);
+    EXPECT_FALSE(s.due(99));
+    EXPECT_TRUE(s.due(100));
+
+    TimeSample t;
+    t.when = 105;
+    s.record(t);
+    EXPECT_EQ(s.nextDue(), 200u);
+
+    // A long edge-free gap yields ONE catch-up sample, then the due
+    // time advances past the recorded point.
+    t.when = 730;
+    s.record(t);
+    EXPECT_EQ(s.samples().size(), 2u);
+    EXPECT_EQ(s.nextDue(), 800u);
+
+    TimeSeriesSampler off(0);
+    EXPECT_FALSE(off.enabled());
+    EXPECT_EQ(off.nextDue(), TimeSeriesSampler::never);
+    EXPECT_FALSE(off.due(1'000'000));
+}
+
+TEST(TraceExport, ChromeJsonIsWellFormedAndDeterministic)
+{
+    auto build = [] {
+        obs::TraceExporter exp(true);
+        exp.complete("PLL re-lock", "dvfs", 1, 1'000'000, 15'000'000);
+        exp.instant("request INT", "control", 1, 2'500'000,
+                    "\"mhz\": 800");
+        exp.counter("INT frequency", "MHz", 1, 2'500'000, 800.0);
+        return exp;
+    };
+    obs::TraceExporter exp = build();
+    ASSERT_EQ(exp.size(), 3u);
+
+    std::ostringstream os;
+    obs::writeChromeTrace(os, {{"adpcm/online", &exp}});
+    std::string text = os.str();
+    expectBalancedJson(text);
+    for (const char *key :
+         {"\"traceEvents\"", "\"process_name\"", "\"thread_name\"",
+          "\"adpcm/online\"", "\"PLL re-lock\"", "\"ph\": \"X\"",
+          "\"ph\": \"i\"", "\"ph\": \"C\"", "\"pid\": 1,",
+          "\"mhz\": 800"}) {
+        EXPECT_NE(text.find(key), std::string::npos) << key;
+    }
+
+    // Bit-identical on rebuild: no wall clock, host pid, or pointers.
+    obs::TraceExporter exp2 = build();
+    std::ostringstream os2;
+    obs::writeChromeTrace(os2, {{"adpcm/online", &exp2}});
+    EXPECT_EQ(text, os2.str());
+
+    // A disabled exporter records nothing.
+    obs::TraceExporter offExp(false);
+    offExp.instant("x", "y", 0, 1);
+    EXPECT_EQ(offExp.size(), 0u);
+}
+
+TEST(TraceExport, JsonEscape)
+{
+    EXPECT_EQ(obs::jsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    EXPECT_EQ(obs::jsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(StatsRegistry, JsonOutputIsWellFormed)
+{
+    StatsRegistry reg;
+    reg.counter("a.count", "a counter").inc(7);
+    reg.gauge("b.value").set(2.5);
+    Histogram &h = reg.histogram("c.hist", {1.0});
+    h.add(0.25);
+    h.add(9.0);
+
+    std::ostringstream os;
+    reg.writeJson(os);
+    std::string text = os.str();
+    expectBalancedJson(text);
+    for (const char *key :
+         {"\"a.count\": 7", "\"b.value\": 2.5", "\"buckets\"",
+          "\"le\"", "\"count\": 2"}) {
+        EXPECT_NE(text.find(key), std::string::npos) << key;
+    }
+}
+
+/**
+ * Tentpole acceptance: a Figure 8-style frequency trace reconstructed
+ * from the telemetry sampler matches the legacy in-engine recording
+ * exactly — same call site, same arguments, element for element.
+ */
+TEST(Telemetry, FreqTraceMatchesLegacyEngineTrace)
+{
+    Program p = workloads::build("adpcm", 1);
+
+    ReconfigSchedule sched;
+    sched.add(fromMicroseconds(5.0), Domain::Integer, 600e6);
+    sched.add(fromMicroseconds(5.0), Domain::FloatingPoint, 300e6);
+    sched.add(fromMicroseconds(30.0), Domain::Integer, 1e9);
+    sched.add(fromMicroseconds(40.0), Domain::LoadStore, 450e6);
+
+    SimConfig cfg;
+    cfg.clocking = ClockingStyle::Mcd;
+    cfg.dvfs = DvfsKind::XScale;    // smooth ramps: many trace points
+    cfg.dvfsTimeScale = 0.2;
+    cfg.schedule = &sched;
+    cfg.recordFreqTrace = true;
+    cfg.maxInstructions = 60000;
+
+    McdProcessor proc(cfg, p);
+    // Legacy in-engine recording as independent ground truth.
+    for (int d = 0; d < numDomains; ++d)
+        proc.dvfsEngine(static_cast<Domain>(d))->enableTrace();
+    RunResult r = proc.run();
+
+    std::size_t points = 0;
+    for (int d = 0; d < numDomains; ++d) {
+        const auto &legacy =
+            proc.dvfsEngine(static_cast<Domain>(d))->trace();
+        const auto &fromSampler = r.freqTraces[d];
+        ASSERT_EQ(fromSampler.size(), legacy.size()) << domainName(
+            static_cast<Domain>(d));
+        for (std::size_t i = 0; i < legacy.size(); ++i) {
+            EXPECT_EQ(fromSampler[i].when, legacy[i].when);
+            EXPECT_DOUBLE_EQ(fromSampler[i].frequency,
+                             legacy[i].frequency);
+        }
+        points += fromSampler.size();
+    }
+    // The schedule must actually have produced frequency activity.
+    EXPECT_GT(points, 4u);
+    EXPECT_GT(r.domains[domainIndex(Domain::Integer)].reconfigurations,
+              0u);
+}
+
+TEST(Telemetry, ProcessorCollectsStatsSamplesAndEvents)
+{
+    Program p = workloads::build("adpcm", 1);
+
+    ReconfigSchedule sched;
+    sched.add(fromMicroseconds(5.0), Domain::Integer, 500e6);
+
+    SimConfig cfg;
+    cfg.clocking = ClockingStyle::Mcd;
+    cfg.dvfs = DvfsKind::Transmeta;     // exercises re-lock windows
+    cfg.dvfsTimeScale = 0.2;
+    cfg.schedule = &sched;
+    cfg.telemetry = obs::TelemetryConfig::full(fromMicroseconds(2.0));
+    cfg.maxInstructions = 60000;
+
+    RunResult r = McdProcessor(cfg, p).run();
+    ASSERT_NE(r.telemetry, nullptr);
+    const obs::Telemetry &t = *r.telemetry;
+
+    // Periodic samples cover the run at the configured period.
+    ASSERT_FALSE(t.sampler().samples().empty());
+    for (const TimeSample &s : t.sampler().samples()) {
+        for (int d = 0; d < numDomains; ++d) {
+            EXPECT_GT(s.frequency[d], 0.0);
+            EXPECT_GT(s.voltage[d], 0.0);
+            EXPECT_GE(s.occupancy[d], 0.0);
+            EXPECT_LE(s.occupancy[d], 1.0);
+        }
+    }
+    // Cumulative energy never decreases.
+    const auto &samples = t.sampler().samples();
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+        for (int d = 0; d < numDomains; ++d)
+            EXPECT_GE(samples[i].energy[d], samples[i - 1].energy[d]);
+    }
+
+    // The schedule dropped INT: hook-driven counters saw it.
+    const auto *fc = t.stats().find("clock.int.freq_changes");
+    ASSERT_NE(fc, nullptr);
+    EXPECT_GT(std::get<Counter>(fc->stat).value(), 0u);
+    const auto *rw = t.stats().find("clock.int.relock_windows");
+    ASSERT_NE(rw, nullptr);
+    EXPECT_GT(std::get<Counter>(rw->stat).value(), 0u);
+
+    // Controller decisions and end-of-run summaries are registered.
+    const auto *dec = t.stats().find("control.int.requests");
+    ASSERT_NE(dec, nullptr);
+    EXPECT_GT(std::get<Counter>(dec->stat).value(), 0u);
+    EXPECT_NE(t.stats().find("run.committed"), nullptr);
+    EXPECT_NE(t.stats().find("domain.int.avg_mhz"), nullptr);
+    EXPECT_NE(t.stats().find("pipeline.sync.commit_stalls"), nullptr);
+    EXPECT_NE(t.stats().find("control.schedule.requests_issued"),
+              nullptr);
+
+    // Trace events were collected (re-lock windows at minimum).
+    EXPECT_GT(t.trace().size(), 0u);
+}
+
+/**
+ * Matrix integration: identical telemetry output for serial and
+ * parallel execution, and across repeated runs (no wall-clock, host
+ * pid, pointer, or scheduling dependence anywhere in the documents).
+ */
+TEST(Telemetry, MatrixTelemetryIsDeterministicAcrossJobCounts)
+{
+    ExperimentConfig ec;
+    ec.telemetry = obs::TelemetryConfig::full(fromMicroseconds(5.0));
+    // No cacheDir: caching off, every leg really runs.
+
+    auto render = [&](int jobs) {
+        std::vector<BenchmarkResults> rows =
+            runMatrix(ec, {"adpcm"}, jobs);
+        std::vector<NamedRun> named = namedRuns(rows);
+        std::ostringstream stats, trace;
+        writeTelemetryStatsJson(stats, named);
+        writeTelemetryTrace(trace, named);
+        return stats.str() + "\n===\n" + trace.str();
+    };
+
+    std::string serial = render(1);
+    std::string parallel = render(3);
+    std::string repeat = render(3);
+    EXPECT_EQ(serial, parallel);
+    EXPECT_EQ(parallel, repeat);
+
+    expectBalancedJson(serial.substr(0, serial.find("\n===\n")));
+    for (const char *key :
+         {"\"adpcm/baseline\"", "\"adpcm/online\"", "\"merged\"",
+          "\"run.committed\""}) {
+        EXPECT_NE(serial.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(Telemetry, ResultsJsonCarriesStatsWhenEnabled)
+{
+    ExperimentConfig ec;
+    ec.telemetry.samplePeriod = fromMicroseconds(10.0);
+
+    std::vector<BenchmarkResults> rows = runMatrix(ec, {"adpcm"}, 1);
+    std::ostringstream os;
+    writeResultsJson(os, ec, rows);
+    std::string text = os.str();
+    expectBalancedJson(text);
+    EXPECT_NE(text.find("\"stats\""), std::string::npos);
+    EXPECT_NE(text.find("\"run.ipc\""), std::string::npos);
+}
+
+} // namespace
+} // namespace mcd
