@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
 #include "core/experiment.hh"
@@ -22,7 +23,13 @@
 namespace mcd {
 namespace benchutil {
 
-/** Experiment configuration honoring MCD_SCALE / MCD_CACHE_DIR / seed. */
+/**
+ * Experiment configuration honoring MCD_SCALE / MCD_CACHE_DIR /
+ * MCD_SEED, plus the robustness knobs: MCD_WATCHDOG_EDGES /
+ * MCD_WATCHDOG_TICKS (no-progress and simulated-time watchdog
+ * budgets, 0 = off / unlimited) and MCD_LEG_ATTEMPTS (bounded retry
+ * for transient faults).
+ */
 inline ExperimentConfig
 configFromEnv(DvfsKind model = DvfsKind::XScale)
 {
@@ -36,6 +43,12 @@ configFromEnv(DvfsKind model = DvfsKind::XScale)
         ec.cacheDir = ".mcd-bench-cache";
     if (const char *seed = std::getenv("MCD_SEED"))
         ec.seed = std::strtoull(seed, nullptr, 10);
+    if (const char *e = std::getenv("MCD_WATCHDOG_EDGES"))
+        ec.watchdogNoProgressEdges = std::strtoull(e, nullptr, 10);
+    if (const char *t = std::getenv("MCD_WATCHDOG_TICKS"))
+        ec.watchdogMaxTicks = std::strtoull(t, nullptr, 10);
+    if (const char *a = std::getenv("MCD_LEG_ATTEMPTS"))
+        ec.legAttempts = std::max(1, std::atoi(a));
     return ec;
 }
 
@@ -97,7 +110,37 @@ runMatrix(const ExperimentConfig &ec)
     int jobs = static_cast<int>(ThreadPool::jobsFromEnv());
     std::fprintf(stderr, "  matrix: %zu benchmarks, %d jobs\n",
                  names.size(), jobs);
-    return mcd::runMatrix(ec, names, jobs, /*progress=*/true);
+    try {
+        return mcd::runMatrix(ec, names, jobs, /*progress=*/true);
+    } catch (const FatalError &e) {
+        // Configuration errors (bad env knobs, malformed fault plan).
+        // Exit code 2 = usage error, distinct from the partial/total
+        // run-failure codes finish() returns.
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        std::exit(2);
+    }
+}
+
+/**
+ * End-of-run epilogue for matrix drivers: summarize any failed legs
+ * on stderr and return the process exit code — exitOk when everything
+ * completed, exitPartialFailure / exitTotalFailure otherwise, so CI
+ * can tell a degraded figure from a useless one.
+ */
+inline int
+finish(const std::vector<BenchmarkResults> &rows)
+{
+    int code = matrixExitCode(rows);
+    if (code != exitOk) {
+        std::size_t failed = 0;
+        for (const BenchmarkResults &r : rows)
+            failed += r.failedLegs();
+        std::fprintf(stderr,
+                     "  matrix degraded: %zu of %zu legs failed "
+                     "(exit %d)\n",
+                     failed, rows.size() * 6, code);
+    }
+    return code;
 }
 
 /**
@@ -118,21 +161,34 @@ printFigure(const char *title,
               "global", "online"});
     constexpr int numCfgs = 5;
     double sum[numCfgs] = {};
+    std::size_t count[numCfgs] = {};
     for (const BenchmarkResults &r : rows) {
         const RunResult *cfgs[numCfgs] = {&r.mcdBaseline, &r.dyn1,
                                           &r.dyn5, &r.global, &r.online};
         std::vector<std::string> cells{r.name};
         for (int i = 0; i < numCfgs; ++i) {
+            // Metrics are ratios against the baseline leg: with
+            // either run dead there is no number to print, and the
+            // column average covers only the legs that completed.
+            if (cfgs[i]->failed() || r.baseline.failed()) {
+                cells.push_back("failed");
+                continue;
+            }
             double v = metric(r, *cfgs[i]);
             sum[i] += v;
+            ++count[i];
             cells.push_back(formatPercent(v));
         }
         t.row(std::move(cells));
     }
     t.separator();
     std::vector<std::string> avg{"average"};
-    for (double s : sum)
-        avg.push_back(formatPercent(s / static_cast<double>(rows.size())));
+    for (int i = 0; i < numCfgs; ++i) {
+        avg.push_back(count[i]
+                      ? formatPercent(sum[i] /
+                                      static_cast<double>(count[i]))
+                      : std::string("n/a"));
+    }
     t.row(std::move(avg));
     std::fputs(t.render().c_str(), stdout);
 }

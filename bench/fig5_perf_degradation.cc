@@ -29,5 +29,5 @@ main()
     std::printf(
         "\nPaper reference: baseline MCD < 4%% avg; dynamic-5%% ~10%%; "
         "global matched to dynamic-5%%.\n");
-    return 0;
+    return benchutil::finish(rows);
 }

@@ -28,5 +28,5 @@ main()
     std::printf(
         "\nPaper reference: dynamic-5%% ~27%% avg; global < 12%% avg; "
         "MCD baseline ~-1.5%%.\n");
-    return 0;
+    return benchutil::finish(rows);
 }

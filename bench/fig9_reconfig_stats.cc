@@ -34,6 +34,9 @@ main()
                 "the off-line tool (dynamic-5%%)\n\n");
 
     double totalRc[2] = {};
+    // runDynamic() has no per-leg guard; turn configuration and
+    // simulation errors into a clean usage-error exit.
+    try {
     for (int mi = 0; mi < 2; ++mi) {
         DvfsKind model = mi ? DvfsKind::XScale : DvfsKind::Transmeta;
         ExperimentConfig ec = benchutil::configFromEnv(model);
@@ -68,6 +71,10 @@ main()
         }
         std::fputs(t.render().c_str(), stdout);
         std::printf("\n");
+    }
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 2;
     }
 
     bool shape = totalRc[1] > totalRc[0];

@@ -11,13 +11,36 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "core/experiment.hh"
 
 namespace mcd {
 namespace exutil {
+
+/**
+ * Run an example's body with the library's error taxonomy mapped to
+ * process exit codes: FatalError (bad usage or configuration,
+ * including a failed SimConfig/ExperimentConfig validation) exits 2;
+ * any other exception (unexpected simulator error) exits 3 — instead
+ * of std::terminate either way.
+ */
+inline int
+guardedMain(const std::function<int()> &body)
+{
+    try {
+        return body();
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 3;
+    }
+}
 
 /**
  * Consume "--trace-out <path>" / "--stats-out <path>" from argv

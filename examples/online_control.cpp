@@ -44,6 +44,7 @@ main(int argc, char **argv)
         }
     }
 
+    return exutil::guardedMain([&] {
     ExperimentConfig ec;
     ec.model = model;
     if (argc > 3)
@@ -97,4 +98,5 @@ main(int argc, char **argv)
                      {bench + "/online", &on.online},
                      {bench + "/dyn5", &dyn.result}});
     return 0;
+    });
 }

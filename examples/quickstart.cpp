@@ -11,6 +11,7 @@
 
 #include "common/stats.hh"
 #include "core/experiment.hh"
+#include "example_util.hh"
 #include "workloads/workloads.hh"
 
 using namespace mcd;
@@ -18,6 +19,7 @@ using namespace mcd;
 int
 main(int argc, char **argv)
 {
+    return exutil::guardedMain([&] {
     std::string bench = argc > 1 ? argv[1] : "gcc";
 
     // The experiment runner reproduces the paper's methodology:
@@ -58,4 +60,5 @@ main(int argc, char **argv)
                 formatMHz(r.dyn5.domains[2].avgFrequency).c_str(),
                 formatMHz(r.dyn5.domains[3].avgFrequency).c_str());
     return 0;
+    });
 }

@@ -9,6 +9,18 @@ namespace {
 // threads while tests flip quiet mode (stderr itself is locked by the
 // C library per call).
 std::atomic<bool> quietMode{false};
+
+// Build the whole line first and emit it with one stdio call, so
+// concurrent warnings from worker threads can never interleave
+// mid-line (each fwrite holds stderr's lock for the full message).
+void
+emitLine(const char *prefix, const std::string &msg)
+{
+    std::string line(prefix);
+    line += msg;
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
 } // namespace
 
 void
@@ -27,14 +39,14 @@ void
 warn(const std::string &msg)
 {
     if (!quietMode)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+        emitLine("warn: ", msg);
 }
 
 void
 inform(const std::string &msg)
 {
     if (!quietMode)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+        emitLine("info: ", msg);
 }
 
 void

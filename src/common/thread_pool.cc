@@ -2,7 +2,36 @@
 
 #include <cstdlib>
 
+#include "log.hh"
+
 namespace mcd {
+
+namespace {
+
+/**
+ * Run one dequeued task. submit() wraps every callable in a
+ * packaged_task, so a throwing task delivers its exception to the
+ * waiter through the future and nothing should ever escape here — but
+ * if something does (a future-proofing guard: packaged_task invocation
+ * itself can throw future_error on misuse), an escape would
+ * std::terminate the worker thread and deadlock every pending wait().
+ * Swallow-and-warn is the only safe disposition at this boundary.
+ */
+void
+runTask(std::function<void()> &task)
+{
+    try {
+        task();
+    } catch (const std::exception &e) {
+        warn(std::string("thread pool: task escaped its "
+                         "packaged_task wrapper: ") + e.what());
+    } catch (...) {
+        warn("thread pool: task escaped its packaged_task wrapper "
+             "with a non-std exception");
+    }
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(unsigned workers)
     : numWorkers(workers)
@@ -34,7 +63,7 @@ ThreadPool::runPendingTask()
         task = std::move(queue.front());
         queue.pop_front();
     }
-    task();
+    runTask(task);
     return true;
 }
 
@@ -51,7 +80,7 @@ ThreadPool::workerLoop()
             task = std::move(queue.front());
             queue.pop_front();
         }
-        task();
+        runTask(task);
     }
 }
 

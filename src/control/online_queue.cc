@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/log.hh"
+
 namespace mcd {
 
 OnlineQueueController::OnlineQueueController(
@@ -9,6 +11,21 @@ OnlineQueueController::OnlineQueueController(
     std::uint64_t seed_)
     : prm(params), table(table_), seed(seed_)
 {
+    // Out-of-range tuning silently degenerates the control law (a
+    // zero interval means the controller never fires; inverted water
+    // marks make decay unreachable) — reject it up front.
+    if (prm.interval == 0)
+        fatal("OnlineQueueParams: interval must be > 0");
+    if (!(prm.attackThreshold > 0.0 && prm.attackThreshold < 1.0))
+        fatal("OnlineQueueParams: attackThreshold must lie in (0, 1)");
+    if (!(prm.idleWater < prm.holdWater && prm.holdWater < prm.highWater))
+        fatal("OnlineQueueParams: water marks must satisfy "
+              "idleWater < holdWater < highWater");
+    if (prm.attackPoints < 1 || prm.decayPoints < 1 ||
+        prm.idleDecayPoints < 1) {
+        fatal("OnlineQueueParams: attackPoints, decayPoints and "
+              "idleDecayPoints must all be >= 1");
+    }
     level.fill(-1);
 }
 

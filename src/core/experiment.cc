@@ -9,6 +9,7 @@
 #include <fstream>
 #include <mutex>
 #include <sstream>
+#include <string_view>
 #include <utility>
 
 #include <unistd.h>
@@ -24,9 +25,24 @@ namespace expcache {
 // rejected (whitespace-delimited numbers could otherwise parse a
 // shortened final value as valid).
 // v3: adds the online-controller run as a sixth record.
-const char *const version = "mcd-cache-v3";
+// v4: adds a trailing FNV-1a checksum line over the whole payload so
+// silent corruption anywhere (not just truncation) is detected and
+// the file can be quarantined instead of trusted.
+const char *const version = "mcd-cache-v4";
 
 namespace {
+
+/** FNV-1a 64-bit over the serialized payload. */
+std::uint64_t
+fnv1a(std::string_view s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
 
 void
 writeRun(std::ostream &os, const char *tag, const RunResult &r)
@@ -68,39 +84,73 @@ readRun(std::istream &is, const char *tag, RunResult &r)
 void
 write(std::ostream &os, const BenchmarkResults &r)
 {
-    os << std::setprecision(17);
-    os << version << '\n'
-       << r.globalFrequency << ' ' << r.schedule1Size << ' '
-       << r.schedule5Size << '\n';
-    writeRun(os, "baseline", r.baseline);
-    writeRun(os, "mcd", r.mcdBaseline);
-    writeRun(os, "dyn1", r.dyn1);
-    writeRun(os, "dyn5", r.dyn5);
-    writeRun(os, "global", r.global);
-    writeRun(os, "online", r.online);
-    os << "end\n";
+    std::ostringstream payload;
+    payload << std::setprecision(17);
+    payload << version << '\n'
+            << r.globalFrequency << ' ' << r.schedule1Size << ' '
+            << r.schedule5Size << '\n';
+    writeRun(payload, "baseline", r.baseline);
+    writeRun(payload, "mcd", r.mcdBaseline);
+    writeRun(payload, "dyn1", r.dyn1);
+    writeRun(payload, "dyn5", r.dyn5);
+    writeRun(payload, "global", r.global);
+    writeRun(payload, "online", r.online);
+    payload << "end\n";
+
+    std::string text = payload.str();
+    os << text << "sum " << std::hex << fnv1a(text) << std::dec
+       << '\n';
 }
 
 std::optional<BenchmarkResults>
 read(std::istream &is, const std::string &name)
 {
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string all = buf.str();
+
+    // The checksum line covers everything before it; verify first so
+    // a flipped bit anywhere (header, numbers, sentinel) is caught
+    // before any value is trusted. Version mismatches are reported as
+    // such (nullopt) without requiring a checksum, so stale-format
+    // files read as "stale", not "corrupt".
+    {
+        std::istringstream hdr(all);
+        std::string ver;
+        if (!(hdr >> ver) || ver != version)
+            return std::nullopt;
+    }
+    std::size_t sumPos = all.rfind("\nsum ");
+    if (sumPos == std::string::npos)
+        return std::nullopt;    // truncated before the checksum line
+    const std::string payload = all.substr(0, sumPos + 1);
+    std::istringstream sumLine(all.substr(sumPos + 1));
+    std::string tag, hex;
+    if (!(sumLine >> tag >> hex) || tag != "sum" || hex.empty() ||
+        hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+        return std::nullopt;
+    }
+    if (fnv1a(payload) != std::strtoull(hex.c_str(), nullptr, 16))
+        return std::nullopt;    // bit rot / torn write
+
+    std::istringstream in(payload);
     std::string ver;
-    if (!(is >> ver) || ver != version)
+    if (!(in >> ver) || ver != version)
         return std::nullopt;
     BenchmarkResults r;
     r.name = name;
-    if (!(is >> r.globalFrequency >> r.schedule1Size >> r.schedule5Size))
+    if (!(in >> r.globalFrequency >> r.schedule1Size >> r.schedule5Size))
         return std::nullopt;
-    if (!readRun(is, "baseline", r.baseline) ||
-        !readRun(is, "mcd", r.mcdBaseline) ||
-        !readRun(is, "dyn1", r.dyn1) ||
-        !readRun(is, "dyn5", r.dyn5) ||
-        !readRun(is, "global", r.global) ||
-        !readRun(is, "online", r.online)) {
+    if (!readRun(in, "baseline", r.baseline) ||
+        !readRun(in, "mcd", r.mcdBaseline) ||
+        !readRun(in, "dyn1", r.dyn1) ||
+        !readRun(in, "dyn5", r.dyn5) ||
+        !readRun(in, "global", r.global) ||
+        !readRun(in, "online", r.online)) {
         return std::nullopt;
     }
     std::string sentinel;
-    if (!(is >> sentinel) || sentinel != "end")
+    if (!(in >> sentinel) || sentinel != "end")
         return std::nullopt;    // truncated mid-number or mid-record
     return r;
 }
@@ -128,8 +178,25 @@ legs(const BenchmarkResults &r)
 void
 jsonRun(std::ostream &os, const char *indent, const RunResult &r)
 {
-    os << "{\n"
-       << indent << "  \"execTimePs\": " << r.execTime << ",\n"
+    if (r.error) {
+        // A failed leg: the numeric fields are meaningless zeros, so
+        // emit the structured error instead.
+        const RunError &e = *r.error;
+        os << "{\n"
+           << indent << "  \"failed\": true,\n"
+           << indent << "  \"error\": {\"site\": \""
+           << obs::jsonEscape(e.site) << "\", \"kind\": \""
+           << obs::jsonEscape(e.kind) << "\", \"message\": \""
+           << obs::jsonEscape(e.message) << "\", \"attempts\": "
+           << e.attempts << "}\n"
+           << indent << "}";
+        return;
+    }
+    os << "{\n";
+    if (r.attempts > 1) {
+        os << indent << "  \"attempts\": " << r.attempts << ",\n";
+    }
+    os << indent << "  \"execTimePs\": " << r.execTime << ",\n"
        << indent << "  \"committed\": " << r.committed << ",\n"
        << indent << "  \"ipc\": " << r.ipc << ",\n"
        << indent << "  \"totalEnergy\": " << r.totalEnergy << ",\n"
@@ -156,6 +223,52 @@ jsonRun(std::ostream &os, const char *indent, const RunResult &r)
 }
 
 } // namespace
+
+std::size_t
+BenchmarkResults::failedLegs() const
+{
+    std::size_t n = 0;
+    for (const LegRef &l : legs(*this))
+        n += l.run->failed() ? 1 : 0;
+    return n;
+}
+
+int
+matrixExitCode(const std::vector<BenchmarkResults> &rows)
+{
+    std::size_t failed = 0;
+    std::size_t total = 0;
+    for (const BenchmarkResults &r : rows) {
+        total += 6;
+        failed += r.failedLegs();
+    }
+    if (!failed)
+        return exitOk;
+    return failed == total ? exitTotalFailure : exitPartialFailure;
+}
+
+void
+ExperimentConfig::validate() const
+{
+    if (scale < 1)
+        fatal("ExperimentConfig: scale must be >= 1");
+    auto dilation = [](double d, const char *what) {
+        if (!std::isfinite(d) || d <= 0.0 || d >= 1.0)
+            fatal(std::string("ExperimentConfig: ") + what +
+                  " must lie in (0, 1) (got " + std::to_string(d) + ")");
+    };
+    dilation(dilationLow, "dilationLow");
+    dilation(dilationHigh, "dilationHigh");
+    if (dilationLow > dilationHigh)
+        fatal("ExperimentConfig: dilationLow must not exceed "
+              "dilationHigh");
+    if (!std::isfinite(dvfsTimeScale) || dvfsTimeScale <= 0.0)
+        fatal("ExperimentConfig: dvfsTimeScale must be finite and > 0");
+    if (legAttempts < 1)
+        fatal("ExperimentConfig: legAttempts must be >= 1");
+    if (online.interval == 0)
+        fatal("ExperimentConfig: online.interval must be > 0");
+}
 
 void
 writeResultsJson(std::ostream &os, const ExperimentConfig &cfg,
@@ -193,19 +306,54 @@ writeResultsJson(std::ostream &os, const ExperimentConfig &cfg,
             os << (i + 1 < std::size(runs) ? ",\n" : "\n");
         }
         os << "      },\n"
-           << "      \"derived\": {\n";
+           << "      \"derived\": {";
+        // Derived metrics are ratios against the baseline leg, so a
+        // failed run (all-zero numerics) or a failed baseline would
+        // emit nonsense (inf/nan is not even valid JSON) — skip them.
+        bool firstDerived = true;
         for (std::size_t i = 1; i < std::size(runs); ++i) {
             const RunResult &run = *runs[i].run;
-            os << "        \"" << runs[i].tag << "\": {"
+            if (run.failed() || r.baseline.failed())
+                continue;
+            os << (firstDerived ? "" : ",") << "\n"
+               << "        \"" << runs[i].tag << "\": {"
                << "\"perfDegradation\": " << r.perfDegradation(run)
                << ", \"energySavings\": " << r.energySavings(run)
                << ", \"edpImprovement\": " << r.edpImprovement(run)
-               << "}" << (i + 1 < std::size(runs) ? ",\n" : "\n");
+               << "}";
+            firstDerived = false;
         }
-        os << "      }\n    }";
+        os << "\n      }\n    }";
         firstRow = false;
     }
-    os << "\n  ]\n}\n";
+    os << "\n  ]";
+
+    // Failure surface: emitted only when something failed, so a clean
+    // matrix's document stays byte-identical to earlier versions.
+    bool anyFailed = false;
+    for (const BenchmarkResults &r : rows)
+        anyFailed = anyFailed || r.anyFailed();
+    if (anyFailed) {
+        os << ",\n  \"failures\": [";
+        bool first = true;
+        for (const BenchmarkResults &r : rows) {
+            for (const LegRef &l : legs(r)) {
+                if (!l.run->failed())
+                    continue;
+                const RunError &e = *l.run->error;
+                os << (first ? "" : ",") << "\n    {"
+                   << "\"benchmark\": \"" << obs::jsonEscape(r.name)
+                   << "\", \"leg\": \"" << l.tag
+                   << "\", \"kind\": \"" << obs::jsonEscape(e.kind)
+                   << "\", \"attempts\": " << e.attempts
+                   << ", \"message\": \"" << obs::jsonEscape(e.message)
+                   << "\"}";
+                first = false;
+            }
+        }
+        os << "\n  ],\n  \"exitCode\": " << matrixExitCode(rows);
+    }
+    os << "\n}\n";
 }
 
 std::vector<NamedRun>
@@ -222,7 +370,8 @@ namedRuns(const std::vector<BenchmarkResults> &rows)
 
 void
 writeTelemetryStatsJson(std::ostream &os,
-                        const std::vector<NamedRun> &runs)
+                        const std::vector<NamedRun> &runs,
+                        const obs::StatsRegistry *matrix)
 {
     obs::StatsRegistry merged;
     os << "{\n  \"runs\": {";
@@ -239,6 +388,10 @@ writeTelemetryStatsJson(std::ostream &os,
     }
     os << "\n  },\n  \"merged\": ";
     merged.writeJson(os, "  ");
+    if (matrix) {
+        os << ",\n  \"matrix\": ";
+        matrix->writeJson(os, "  ");
+    }
     os << "\n}\n";
 }
 
@@ -258,12 +411,17 @@ ExperimentRunner::ExperimentRunner(ExperimentConfig cfg)
 {}
 
 SimConfig
-ExperimentRunner::makeSimConfig(ClockingStyle style) const
+ExperimentRunner::makeSimConfig(ClockingStyle style,
+                                const std::string &site) const
 {
     SimConfig sc;
     sc.clocking = style;
     sc.seed = config.seed;
     sc.telemetry = config.telemetry;
+    sc.watchdogNoProgressEdges = config.watchdogNoProgressEdges;
+    sc.watchdogMaxTicks = config.watchdogMaxTicks;
+    sc.faults = config.faults.get();
+    sc.faultSite = site;
     return sc;
 }
 
@@ -312,18 +470,63 @@ ExperimentRunner::loadCache(const std::string &name) const
     // not perturb the simulation, so the records stay valid).
     if (config.telemetry.enabled())
         return std::nullopt;
+    // A benchmark with armed leg faults must actually run, or the
+    // cache would mask the injection.
+    if (config.faults && config.faults->legFaultsFor(name))
+        return std::nullopt;
     std::string path = cachePath(name);
     if (path.empty())
         return std::nullopt;
+
+    // Injected cache damage: break the file on disk before the read,
+    // so the checksum verification and quarantine below are exercised
+    // against real filesystem state.
+    if (config.faults) {
+        if (auto kind = config.faults->cacheFault(name))
+            fault::damageFile(path, *kind);
+    }
+
     std::ifstream in(path);
     if (!in)
         return std::nullopt;
-    return expcache::read(in, name);
+
+    // A stale format version is expected churn (silent recompute); a
+    // file with the *current* version that still fails to parse or
+    // checksum is damage worth flagging.
+    std::string header;
+    std::getline(in, header);
+    if (header != expcache::version)
+        return std::nullopt;
+    in.clear();
+    in.seekg(0);
+    if (auto cached = expcache::read(in, name))
+        return cached;
+    in.close();
+
+    // Quarantine: move the bad bytes aside (kept for inspection) so
+    // they can never poison this or a later run, then recompute.
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".corrupt", ec);
+    if (!ec) {
+        warn("experiment cache " + path +
+             " is corrupt; quarantined as .corrupt and recomputing");
+        ++quarantines;
+    }
+    return std::nullopt;
 }
 
 void
 ExperimentRunner::storeCache(const BenchmarkResults &r) const
 {
+    // Never publish degraded rows: a failed leg's zeros would silently
+    // satisfy every later run. Rows produced under armed leg faults
+    // are likewise tainted (a flaky leg that retried to success is
+    // numerically clean, but keeping the rule kind-independent keeps
+    // injected matrices byte-identical to uncached ones).
+    if (r.anyFailed())
+        return;
+    if (config.faults && config.faults->legFaultsFor(r.name))
+        return;
     std::string path = cachePath(r.name);
     if (path.empty())
         return;
@@ -353,11 +556,12 @@ ExperimentRunner::storeCache(const BenchmarkResults &r) const
 
 RunResult
 ExperimentRunner::profileLeg(const Program &prog,
-                             std::vector<InstTrace> &trace_out) const
+                             std::vector<InstTrace> &trace_out,
+                             const std::string &site) const
 {
     // Baseline MCD (all domains statically at 1 GHz); doubles as the
     // profiling run for the offline tool.
-    SimConfig profCfg = makeSimConfig(ClockingStyle::Mcd);
+    SimConfig profCfg = makeSimConfig(ClockingStyle::Mcd, site);
     profCfg.collectTrace = true;
     McdProcessor prof(profCfg, prog);
     RunResult r = prof.run();
@@ -366,12 +570,13 @@ ExperimentRunner::profileLeg(const Program &prog,
 }
 
 RunResult
-ExperimentRunner::onlineLeg(const Program &prog) const
+ExperimentRunner::onlineLeg(const Program &prog,
+                            const std::string &site) const
 {
     // Online control: MCD clocking with the attack/decay controller
     // instead of an offline schedule. Seeded from the experiment seed
     // so the leg is reproducible and job-count independent.
-    SimConfig sc = makeSimConfig(ClockingStyle::Mcd);
+    SimConfig sc = makeSimConfig(ClockingStyle::Mcd, site);
     sc.dvfs = config.model;
     sc.dvfsTimeScale = config.dvfsTimeScale;
     OnlineQueueController ctrl(config.online, DvfsTable{}, config.seed);
@@ -382,12 +587,13 @@ ExperimentRunner::onlineLeg(const Program &prog) const
 ExperimentRunner::DynLeg
 ExperimentRunner::dynamicLeg(const Program &prog,
                              const std::vector<InstTrace> &trace,
-                             double target_dilation) const
+                             double target_dilation,
+                             const std::string &site) const
 {
     OfflineAnalyzer analyzer(OfflineAnalyzer::configFor(
         target_dilation, config.model, config.dvfsTimeScale));
     AnalysisResult analysis = analyzer.analyze(trace);
-    SimConfig dynCfg = makeSimConfig(ClockingStyle::Mcd);
+    SimConfig dynCfg = makeSimConfig(ClockingStyle::Mcd, site);
     dynCfg.dvfs = config.model;
     dynCfg.dvfsTimeScale = config.dvfsTimeScale;
     dynCfg.schedule = &analysis.schedule;
@@ -414,7 +620,8 @@ ExperimentRunner::globalLeg(const Program &prog, BenchmarkResults &r) const
     while (lo <= hi) {
         int mid = (lo + hi) / 2;
         Hertz f = table.point(mid).frequency;
-        SimConfig sc = makeSimConfig(ClockingStyle::SingleClock);
+        SimConfig sc = makeSimConfig(ClockingStyle::SingleClock,
+                                     r.name + "/global");
         sc.domainFrequency = {f, f, f, f};
         sc.mem.dramScalesWithClock = true;
         RunResult res = runOnce(prog, sc);
@@ -462,6 +669,63 @@ ExperimentRunner::runDynamic(const std::string &name,
     return out;
 }
 
+RunResult
+ExperimentRunner::runGuarded(const std::string &bench, const char *leg,
+                             const std::function<RunResult()> &body) const
+{
+    const std::string site = bench + "/" + leg;
+    RunError err;
+    for (int attempt = 1; attempt <= config.legAttempts; ++attempt) {
+        try {
+            // The injection point is a pure function of (site,
+            // attempt), and attempts are strictly sequential within
+            // one leg, so outcomes are job-count independent.
+            if (config.faults)
+                config.faults->onLegAttempt(site, attempt);
+            RunResult r = body();
+            r.attempts = attempt;
+            return r;
+        } catch (const fault::InjectedFault &e) {
+            err = {site, "injected", e.what(), attempt};
+            if (e.transient() && attempt < config.legAttempts)
+                continue;               // bounded deterministic retry
+            break;
+        } catch (const WatchdogError &e) {
+            err = {site, "watchdog", e.what(), attempt};
+            break;
+        } catch (const FatalError &e) {
+            err = {site, "fatal", e.what(), attempt};
+            break;
+        } catch (const PanicError &e) {
+            err = {site, "panic", e.what(), attempt};
+            break;
+        } catch (const std::exception &e) {
+            err = {site, "exception", e.what(), attempt};
+            break;
+        }
+    }
+    warn("leg " + site + " failed (" + err.kind + ", attempt " +
+         std::to_string(err.attempts) + "): " + err.message);
+    RunResult failed;
+    failed.benchmark = bench;
+    failed.attempts = err.attempts;
+    failed.error = std::move(err);
+    return failed;
+}
+
+RunResult
+ExperimentRunner::dependencyFailed(const std::string &bench,
+                                   const char *leg,
+                                   const char *upstream) const
+{
+    RunResult r;
+    r.benchmark = bench;
+    r.attempts = 0;     // never attempted
+    r.error = RunError{bench + "/" + leg, "dependency",
+                       std::string(upstream) + " leg failed", 0};
+    return r;
+}
+
 BenchmarkResults
 ExperimentRunner::runBenchmark(const std::string &name)
 {
@@ -482,43 +746,83 @@ ExperimentRunner::runBenchmark(const std::string &name, ThreadPool &pool)
 
     const Program prog = workloads::build(name, config.scale);
 
+    // Every leg runs under runGuarded *inside* its submitted lambda:
+    // a leg never throws across the pool boundary, so one dead leg
+    // can neither abort the matrix nor strand sibling tasks that
+    // still reference this frame's prog/trace.
+
     // Leg 1 — singly clocked baseline — is independent of everything
     // else; run it concurrently with the profiling leg.
-    auto baseFut = pool.submit([this, &prog] {
-        return runOnce(prog, makeSimConfig(ClockingStyle::SingleClock));
+    auto baseFut = pool.submit([this, &name, &prog] {
+        return runGuarded(name, "baseline", [&] {
+            return runOnce(prog,
+                           makeSimConfig(ClockingStyle::SingleClock,
+                                         name + "/baseline"));
+        });
     });
 
     // Leg 1b — the online controller needs neither the trace nor the
     // baseline; fully independent.
-    auto onlineFut = pool.submit([this, &prog] {
-        return onlineLeg(prog);
+    auto onlineFut = pool.submit([this, &name, &prog] {
+        return runGuarded(name, "online", [&] {
+            return onlineLeg(prog, name + "/online");
+        });
     });
 
     // Leg 2 — baseline MCD / profiling run (produces the trace).
     std::vector<InstTrace> trace;
-    auto profFut = pool.submit([this, &prog, &trace] {
-        return profileLeg(prog, trace);
+    auto profFut = pool.submit([this, &name, &prog, &trace] {
+        return runGuarded(name, "mcdBaseline", [&] {
+            return profileLeg(prog, trace, name + "/mcdBaseline");
+        });
     });
     r.mcdBaseline = pool.wait(profFut);
 
-    // Legs 3a/3b — the two dynamic configurations analyze and
-    // simulate independently off the shared (now read-only) trace.
-    auto dyn1Fut = pool.submit([this, &prog, &trace] {
-        return dynamicLeg(prog, trace, config.dilationLow);
-    });
-    auto dyn5Fut = pool.submit([this, &prog, &trace] {
-        return dynamicLeg(prog, trace, config.dilationHigh);
-    });
-    DynLeg d1 = pool.wait(dyn1Fut);
-    DynLeg d5 = pool.wait(dyn5Fut);
-    r.dyn1 = d1.result;
-    r.schedule1Size = d1.scheduleSize;
-    r.dyn5 = d5.result;
-    r.schedule5Size = d5.scheduleSize;
+    if (r.mcdBaseline.failed()) {
+        // No profiling trace: the offline tool has nothing to chew on.
+        r.dyn1 = dependencyFailed(name, "dyn1", "mcdBaseline");
+        r.dyn5 = dependencyFailed(name, "dyn5", "mcdBaseline");
+    } else {
+        // Legs 3a/3b — the two dynamic configurations analyze and
+        // simulate independently off the shared (now read-only)
+        // trace. The schedule sizes ride out via per-leg locals each
+        // written only before its lambda returns (i.e. before wait()
+        // synchronizes with it).
+        std::size_t sched1 = 0;
+        std::size_t sched5 = 0;
+        auto dyn1Fut = pool.submit([this, &name, &prog, &trace, &sched1] {
+            return runGuarded(name, "dyn1", [&] {
+                DynLeg leg = dynamicLeg(prog, trace, config.dilationLow,
+                                        name + "/dyn1");
+                sched1 = leg.scheduleSize;
+                return leg.result;
+            });
+        });
+        auto dyn5Fut = pool.submit([this, &name, &prog, &trace, &sched5] {
+            return runGuarded(name, "dyn5", [&] {
+                DynLeg leg = dynamicLeg(prog, trace, config.dilationHigh,
+                                        name + "/dyn5");
+                sched5 = leg.scheduleSize;
+                return leg.result;
+            });
+        });
+        r.dyn1 = pool.wait(dyn1Fut);
+        r.dyn5 = pool.wait(dyn5Fut);
+        r.schedule1Size = sched1;
+        r.schedule5Size = sched5;
+    }
 
     // Leg 4 — the global binary search needs baseline + dynamic-5%.
     r.baseline = pool.wait(baseFut);
-    globalLeg(prog, r);
+    if (r.baseline.failed() || r.dyn5.failed()) {
+        r.global = dependencyFailed(
+            name, "global", r.baseline.failed() ? "baseline" : "dyn5");
+    } else {
+        r.global = runGuarded(name, "global", [&] {
+            globalLeg(prog, r);
+            return r.global;
+        });
+    }
 
     r.online = pool.wait(onlineFut);
 
@@ -557,7 +861,8 @@ maybeWriteJson(const ExperimentConfig &cfg,
 
 /** Honor MCD_STATS_OUT / MCD_TRACE_OUT: dump merged telemetry. */
 void
-maybeWriteTelemetry(const std::vector<BenchmarkResults> &out)
+maybeWriteTelemetry(const std::vector<BenchmarkResults> &out,
+                    const obs::StatsRegistry *matrix)
 {
     auto writeTo = [](const char *env, auto writer) {
         const char *path = std::getenv(env);
@@ -572,7 +877,7 @@ maybeWriteTelemetry(const std::vector<BenchmarkResults> &out)
     };
     std::vector<NamedRun> named = namedRuns(out);
     writeTo("MCD_STATS_OUT", [&](std::ostream &os) {
-        writeTelemetryStatsJson(os, named);
+        writeTelemetryStatsJson(os, named, matrix);
     });
     writeTo("MCD_TRACE_OUT", [&](std::ostream &os) {
         writeTelemetryTrace(os, named);
@@ -581,7 +886,8 @@ maybeWriteTelemetry(const std::vector<BenchmarkResults> &out)
 
 /**
  * The effective matrix config: MCD_TRACE_OUT / MCD_STATS_OUT imply
- * full telemetry collection when the caller left it off.
+ * full telemetry collection when the caller left it off, and
+ * MCD_FAULT_PLAN supplies a fault plan when the caller passed none.
  */
 ExperimentConfig
 effectiveConfig(const ExperimentConfig &cfg)
@@ -595,7 +901,63 @@ effectiveConfig(const ExperimentConfig &cfg)
         (set("MCD_TRACE_OUT") || set("MCD_STATS_OUT"))) {
         e.telemetry = obs::TelemetryConfig::full();
     }
+    if (!e.faults)
+        e.faults = fault::FaultPlan::fromEnv();
     return e;
+}
+
+/**
+ * Matrix health counters for the stats document and the end-of-run
+ * summary. Returns true (via @p degraded) when anything failed, was
+ * retried, or was quarantined — a clean matrix skips the registry
+ * entirely so its stats JSON is byte-identical to earlier versions.
+ */
+bool
+matrixHealth(obs::StatsRegistry &reg,
+             const std::vector<BenchmarkResults> &rows,
+             std::uint64_t quarantined)
+{
+    std::uint64_t ok = 0;
+    std::uint64_t failedLegs = 0;
+    std::uint64_t retried = 0;
+    for (const BenchmarkResults &r : rows) {
+        std::uint64_t f = r.failedLegs();
+        failedLegs += f;
+        ok += 6 - f;
+        for (const LegRef &l : legs(r))
+            retried += l.run->attempts > 1 ? 1 : 0;
+    }
+    reg.counter("matrix.legs.ok", "matrix legs that completed")
+        .inc(ok);
+    reg.counter("matrix.legs.failed",
+                "matrix legs recorded as failed").inc(failedLegs);
+    reg.counter("matrix.legs.retried",
+                "matrix legs that needed more than one attempt")
+        .inc(retried);
+    reg.counter("matrix.cache.quarantined",
+                "corrupt cache files renamed *.corrupt").inc(quarantined);
+    return failedLegs != 0 || retried != 0 || quarantined != 0;
+}
+
+/** Shared post-run tail: documents, health, degradation summary. */
+void
+finishMatrix(const ExperimentConfig &cfg,
+             const std::vector<BenchmarkResults> &out,
+             const ExperimentRunner &runner)
+{
+    obs::StatsRegistry health;
+    bool degraded = matrixHealth(health, out, runner.cacheQuarantines());
+    maybeWriteJson(cfg, out);
+    maybeWriteTelemetry(out, degraded ? &health : nullptr);
+    if (degraded) {
+        std::uint64_t failedLegs = 0;
+        for (const BenchmarkResults &r : out)
+            failedLegs += r.failedLegs();
+        if (failedLegs)
+            warn("matrix degraded: " + std::to_string(failedLegs) +
+                 " of " + std::to_string(out.size() * 6) +
+                 " legs failed (see results JSON \"failures\")");
+    }
 }
 
 } // namespace
@@ -609,6 +971,7 @@ runMatrix(const ExperimentConfig &cfg,
     workloads::all();
 
     ExperimentConfig ecfg = effectiveConfig(cfg);
+    ecfg.validate();
     std::vector<BenchmarkResults> out(names.size());
     ExperimentRunner runner(ecfg);
 
@@ -619,8 +982,7 @@ runMatrix(const ExperimentConfig &cfg,
                              names[i].c_str());
             out[i] = runner.runBenchmark(names[i]);
         }
-        maybeWriteJson(ecfg, out);
-        maybeWriteTelemetry(out);
+        finishMatrix(ecfg, out, runner);
         return out;
     }
 
@@ -642,8 +1004,7 @@ runMatrix(const ExperimentConfig &cfg,
     // Collect in workload order, independent of completion order.
     for (std::size_t i = 0; i < names.size(); ++i)
         out[i] = pool.wait(futs[i]);
-    maybeWriteJson(ecfg, out);
-    maybeWriteTelemetry(out);
+    finishMatrix(ecfg, out, runner);
     return out;
 }
 

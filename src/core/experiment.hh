@@ -27,7 +27,11 @@
 #ifndef MCD_CORE_EXPERIMENT_HH
 #define MCD_CORE_EXPERIMENT_HH
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,6 +41,7 @@
 #include "control/online_queue.hh"
 #include "core/processor.hh"
 #include "core/sim_config.hh"
+#include "fault/fault_plan.hh"
 
 namespace mcd {
 
@@ -65,6 +70,29 @@ struct ExperimentConfig
 
     /** Attack/decay parameters for the online-control column. */
     OnlineQueueParams online;
+
+    /**
+     * Attempts the per-leg guard makes before recording a failure.
+     * Only faults marked transient (injected flaky faults) are
+     * retried — a deterministic simulator error would just recur.
+     */
+    int legAttempts = 2;
+
+    /** Watchdog budgets forwarded into every run's SimConfig. */
+    std::uint64_t watchdogNoProgressEdges = 40'000'000;
+    Tick watchdogMaxTicks = 0;
+
+    /**
+     * Fault-injection plan for this matrix (testing the recovery
+     * paths). runMatrix() fills this from MCD_FAULT_PLAN when unset.
+     * Benchmarks with armed leg faults bypass the result cache in
+     * both directions, so injected results are never stored and
+     * cached results never mask an injection.
+     */
+    std::shared_ptr<const fault::FaultPlan> faults;
+
+    /** Fail fast on out-of-range parameters (fatal() on violation). */
+    void validate() const;
 };
 
 /** The six runs (plus metadata) for one benchmark. */
@@ -103,7 +131,26 @@ struct BenchmarkResults
     {
         return 1.0 - r.energyDelay / baseline.energyDelay;
     }
+
+    /** Number of failed legs (0..6). */
+    std::size_t failedLegs() const;
+
+    /** True when any of the six legs failed. */
+    bool anyFailed() const { return failedLegs() != 0; }
 };
+
+/**
+ * Process exit codes for matrix drivers. Partial failure (some legs
+ * failed, the rest of the matrix completed) is distinct from total
+ * failure so callers and CI can tell a degraded result set from a
+ * useless one. Code 2 stays reserved for usage/configuration errors.
+ */
+inline constexpr int exitOk = 0;
+inline constexpr int exitPartialFailure = 3;
+inline constexpr int exitTotalFailure = 4;
+
+/** exitOk / exitPartialFailure / exitTotalFailure for a result set. */
+int matrixExitCode(const std::vector<BenchmarkResults> &rows);
 
 /**
  * Cache-file serialization for BenchmarkResults (exposed so the cache
@@ -114,12 +161,17 @@ namespace expcache {
 /** The version string rejected-on-mismatch when reading. */
 extern const char *const version;
 
-/** Serialize @p r (including the version header). */
+/**
+ * Serialize @p r: the version header, the six run records, the "end"
+ * sentinel, and a trailing FNV-1a checksum line over everything
+ * before it, so bit rot anywhere in the payload is detected (v4).
+ */
 void write(std::ostream &os, const BenchmarkResults &r);
 
 /**
  * Deserialize one BenchmarkResults; returns nullopt on a version
- * mismatch, truncation, or any other malformed content.
+ * mismatch, truncation, checksum mismatch, or any other malformed
+ * content.
  */
 std::optional<BenchmarkResults> read(std::istream &is,
                                      const std::string &name);
@@ -145,10 +197,13 @@ struct NamedRun
 /**
  * Emit the telemetry stats of every named run that collected any, as
  * one JSON object: per-run registries keyed by name plus a "merged"
- * registry folding all runs together.
+ * registry folding all runs together. When @p matrix is non-null its
+ * entries (matrix health counters: failed/retried legs, quarantined
+ * cache files) are emitted as an additional "matrix" registry.
  */
 void writeTelemetryStatsJson(std::ostream &os,
-                             const std::vector<NamedRun> &runs);
+                             const std::vector<NamedRun> &runs,
+                             const obs::StatsRegistry *matrix = nullptr);
 
 /**
  * Emit one merged Chrome trace (chrome://tracing / Perfetto JSON)
@@ -225,6 +280,9 @@ class ExperimentRunner
 
     const ExperimentConfig &cfg() const { return config; }
 
+    /** Cache files quarantined (renamed *.corrupt) by this runner. */
+    std::uint64_t cacheQuarantines() const { return quarantines; }
+
   private:
     /** Result of one dynamic (analyze + simulate) leg. */
     struct DynLeg
@@ -233,20 +291,44 @@ class ExperimentRunner
         std::size_t scheduleSize = 0;
     };
 
-    SimConfig makeSimConfig(ClockingStyle style) const;
+    SimConfig makeSimConfig(ClockingStyle style,
+                            const std::string &site = {}) const;
     RunResult runOnce(const Program &prog, const SimConfig &sc) const;
     RunResult profileLeg(const Program &prog,
-                         std::vector<InstTrace> &trace_out) const;
-    RunResult onlineLeg(const Program &prog) const;
+                         std::vector<InstTrace> &trace_out,
+                         const std::string &site) const;
+    RunResult onlineLeg(const Program &prog,
+                        const std::string &site = {}) const;
     DynLeg dynamicLeg(const Program &prog,
                       const std::vector<InstTrace> &trace,
-                      double target_dilation) const;
+                      double target_dilation,
+                      const std::string &site) const;
     void globalLeg(const Program &prog, BenchmarkResults &r) const;
+
+    /**
+     * Per-leg isolation: run @p body under a guard that catches
+     * FatalError / PanicError / WatchdogError / injected faults /
+     * std::exception, retries transient faults up to
+     * ExperimentConfig::legAttempts times, and on failure returns a
+     * default RunResult carrying a structured RunError instead of
+     * propagating — so one dead leg never takes down the matrix.
+     */
+    RunResult runGuarded(const std::string &bench, const char *leg,
+                         const std::function<RunResult()> &body) const;
+
+    /** A leg skipped because an upstream leg it needs failed. */
+    RunResult dependencyFailed(const std::string &bench,
+                               const char *leg,
+                               const char *upstream) const;
+
     std::string cacheKey(const std::string &name) const;
     std::optional<BenchmarkResults> loadCache(const std::string &name) const;
     void storeCache(const BenchmarkResults &r) const;
 
     ExperimentConfig config;
+
+    /** Quarantined-cache-file count (atomic: legs run concurrently). */
+    mutable std::atomic<std::uint64_t> quarantines{0};
 };
 
 /**

@@ -5,12 +5,15 @@
 #include <string>
 
 #include "common/log.hh"
+#include "fault/fault_plan.hh"
 
 namespace mcd {
 
 McdProcessor::McdProcessor(const SimConfig &config, const Program &program)
     : cfg(config), prog(program), oracle(prog)
 {
+    cfg.validate();
+
     bool mcd = cfg.clocking == ClockingStyle::Mcd;
 
     if (mcd) {
@@ -169,6 +172,21 @@ McdProcessor::run()
     std::uint64_t lastProgress = 0;
     std::uint64_t edgesSinceProgress = 0;
 
+    // An armed Stall fault suppresses the progress signal, so the run
+    // looks deadlocked to the watchdog and must be cut cleanly.
+    const bool stallInjected =
+        cfg.faults && cfg.faults->stallsLeg(cfg.faultSite);
+
+    auto watchdogTrip = [&](const std::string &why, Tick at) {
+        if (telem)
+            telem->onWatchdogTrip(at);
+        throw WatchdogError(
+            "McdProcessor watchdog: " + why + " at t=" +
+            std::to_string(at) + " ps after " +
+            std::to_string(pipe->committed()) + " commits" +
+            (stallInjected ? " [injected stall]" : ""));
+    };
+
     auto stop = [&]() {
         if (pipe->done())
             return true;
@@ -244,10 +262,18 @@ McdProcessor::run()
             nextSample = telem->sampler().nextDue();
         }
 
-        // Watchdog against model deadlocks.
-        if (pipe->committed() == lastProgress) {
-            if (++edgesSinceProgress > 40'000'000)
-                panic("McdProcessor: no commit progress (deadlock?)");
+        // Watchdog against model deadlocks and runaway runs: both the
+        // no-progress edge budget and the absolute tick budget turn a
+        // hang into a structured, catchable error.
+        if (cfg.watchdogMaxTicks && t > cfg.watchdogMaxTicks)
+            watchdogTrip("simulated-time budget exhausted", t);
+        if (stallInjected || pipe->committed() == lastProgress) {
+            if (cfg.watchdogNoProgressEdges &&
+                ++edgesSinceProgress > cfg.watchdogNoProgressEdges) {
+                watchdogTrip("no commit progress for " +
+                             std::to_string(edgesSinceProgress) +
+                             " edges (deadlock?)", t);
+            }
         } else {
             lastProgress = pipe->committed();
             edgesSinceProgress = 0;

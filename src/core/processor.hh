@@ -10,6 +10,7 @@
 
 #include <array>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "clock/clock_domain.hh"
@@ -25,6 +26,20 @@
 #include "trace/trace.hh"
 
 namespace mcd {
+
+/**
+ * Thrown by the run-loop watchdog when a simulation stops making
+ * commit progress or exceeds its simulated-time budget (see
+ * SimConfig::watchdogNoProgressEdges / watchdogMaxTicks): a runaway
+ * or deadlocked run becomes a clean structured error instead of a
+ * hang, so the experiment engine's per-leg guard can record it and
+ * let the rest of the matrix proceed.
+ */
+class WatchdogError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /**
  * One simulated processor instance. Construct, call run(), inspect

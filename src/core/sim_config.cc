@@ -1,0 +1,127 @@
+/**
+ * @file
+ * SimConfig::validate(): fail fast on inconsistent configurations
+ * with actionable fatal() messages instead of mid-run panics.
+ */
+
+#include "sim_config.hh"
+
+#include <cmath>
+#include <string>
+
+#include "analysis/schedule.hh"
+#include "clock/operating_points.hh"
+#include "common/log.hh"
+
+namespace mcd {
+
+namespace {
+
+std::string
+hz(Hertz f)
+{
+    return std::to_string(f / 1e6) + " MHz";
+}
+
+void
+checkFinitePositive(double v, const char *what)
+{
+    if (!std::isfinite(v) || v <= 0.0)
+        fatal(std::string("SimConfig: ") + what +
+              " must be finite and > 0 (got " + std::to_string(v) + ")");
+}
+
+/** The operating-point invariant every scaling decision relies on. */
+void
+checkTable(const DvfsTable &table)
+{
+    if (table.numPoints() < 2)
+        fatal("SimConfig: operating-point table needs >= 2 points");
+    for (int i = 0; i < table.numPoints(); ++i) {
+        const OperatingPoint &p = table.point(i);
+        if (!(p.frequency > 0.0) || !(p.voltage > 0.0))
+            fatal("SimConfig: operating point " + std::to_string(i) +
+                  " has non-positive frequency or voltage");
+        if (i > 0) {
+            if (p.frequency <= table.point(i - 1).frequency)
+                fatal("SimConfig: operating-point frequencies must "
+                      "increase strictly with index (point " +
+                      std::to_string(i) + ")");
+            if (p.voltage < table.point(i - 1).voltage)
+                fatal("SimConfig: operating-point voltages must be "
+                      "non-decreasing with index (point " +
+                      std::to_string(i) + ")");
+        }
+    }
+}
+
+} // namespace
+
+void
+SimConfig::validate() const
+{
+    DvfsTable table;
+    checkTable(table);
+
+    for (int d = 0; d < numDomains; ++d) {
+        Hertz f = domainFrequency[d];
+        if (!std::isfinite(f) || f <= 0.0)
+            fatal("SimConfig: domainFrequency[" + std::to_string(d) +
+                  "] must be finite and > 0 (got " +
+                  std::to_string(f) + ")");
+        // With a DVFS engine attached, the initial point must lie on
+        // the table's range or the first transition is undefined.
+        if (clocking == ClockingStyle::Mcd && dvfs != DvfsKind::None &&
+            (f < table.minFrequency() || f > table.maxFrequency())) {
+            fatal("SimConfig: domainFrequency[" + std::to_string(d) +
+                  "] = " + hz(f) + " outside the DVFS table range [" +
+                  hz(table.minFrequency()) + ", " +
+                  hz(table.maxFrequency()) + "]");
+        }
+    }
+
+    if (!std::isfinite(jitterSigmaPs) || jitterSigmaPs < 0.0)
+        fatal("SimConfig: jitterSigmaPs must be finite and >= 0");
+    if (!std::isfinite(syncFraction) ||
+        syncFraction < 0.0 || syncFraction > 1.0) {
+        fatal("SimConfig: syncFraction must lie in [0, 1] (got " +
+              std::to_string(syncFraction) + ")");
+    }
+    checkFinitePositive(dvfsTimeScale, "dvfsTimeScale");
+
+    if (controller && schedule)
+        fatal("SimConfig: set either controller or schedule, not both "
+              "(wrap the schedule in a ScheduleController if you need "
+              "to combine policies)");
+
+    if (schedule) {
+        Tick prev = 0;
+        std::size_t i = 0;
+        for (const ReconfigEntry &e : schedule->all()) {
+            std::string at = "schedule entry " + std::to_string(i);
+            if (e.when < prev)
+                fatal("SimConfig: " + at + " is out of time order; "
+                      "call ReconfigSchedule::finalize() first");
+            prev = e.when;
+            int di = static_cast<int>(e.domain);
+            if (di < 0 || di >= numDomains)
+                fatal("SimConfig: " + at + " names an invalid domain");
+            if (!std::isfinite(e.frequency) ||
+                e.frequency < table.minFrequency() ||
+                e.frequency > table.maxFrequency()) {
+                fatal("SimConfig: " + at + " requests " +
+                      hz(e.frequency) + " outside the DVFS table "
+                      "range [" + hz(table.minFrequency()) + ", " +
+                      hz(table.maxFrequency()) + "]");
+            }
+            ++i;
+        }
+        if (!schedule->empty() && dvfs == DvfsKind::None &&
+            clocking == ClockingStyle::Mcd) {
+            fatal("SimConfig: a reconfiguration schedule needs a DVFS "
+                  "model (set SimConfig::dvfs)");
+        }
+    }
+}
+
+} // namespace mcd

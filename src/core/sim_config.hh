@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "clock/dvfs.hh"
@@ -24,6 +25,8 @@ namespace mcd {
 
 class ReconfigSchedule;
 class DvfsController;
+
+namespace fault { class FaultPlan; }
 
 /** Globally synchronous vs. multiple clock domains. */
 enum class ClockingStyle : std::uint8_t {
@@ -79,7 +82,51 @@ struct SimConfig
     /** Stop after this many committed instructions (0 = run to HALT). */
     std::uint64_t maxInstructions = 0;
 
+    /**
+     * Watchdog: clock edges with no commit progress before the run is
+     * aborted with a WatchdogError (0 disables the check).
+     */
+    std::uint64_t watchdogNoProgressEdges = 40'000'000;
+
+    /**
+     * Watchdog: absolute simulated-time budget in picoseconds; a run
+     * still going past this is aborted with a WatchdogError
+     * (0 = unlimited).
+     */
+    Tick watchdogMaxTicks = 0;
+
+    /**
+     * Fault-injection plan (not owned; shared read-only across runs)
+     * and this run's leg site name ("bench/leg") within it. A plan
+     * with a Stall armed at faultSite makes the run stop reporting
+     * commit progress, which the watchdog must then catch.
+     */
+    const fault::FaultPlan *faults = nullptr;
+    std::string faultSite;
+
     std::uint64_t seed = 1;
+
+    /**
+     * Fail fast on an inconsistent configuration: fatal() with an
+     * actionable message instead of a mid-run panic. Checks the
+     * operating-point table's monotonicity, frequency/parameter
+     * ranges, schedule sanity, and control-plane exclusivity. Called
+     * by McdProcessor before every run.
+     */
+    void validate() const;
+};
+
+/**
+ * Structured description of one failed run leg: where it failed, how
+ * (fatal/panic/watchdog/injected/dependency/exception), and how many
+ * attempts were made before giving up.
+ */
+struct RunError
+{
+    std::string site;       //!< "bench/leg" (empty outside the matrix)
+    std::string kind;
+    std::string message;
+    int attempts = 1;
 };
 
 /** Per-domain summary of a run. */
@@ -119,6 +166,19 @@ struct RunResult
      * telemetry itself is immutable once the run finishes.
      */
     std::shared_ptr<const obs::Telemetry> telemetry;
+
+    /**
+     * Set when the run failed: the experiment engine's per-leg guard
+     * caught an error and recorded it here instead of letting it
+     * abort the rest of the matrix. A failed result's numeric fields
+     * are all default (zero).
+     */
+    std::optional<RunError> error;
+
+    /** Attempts the leg guard made (> 1 after a transient retry). */
+    int attempts = 1;
+
+    bool failed() const { return error.has_value(); }
 };
 
 } // namespace mcd

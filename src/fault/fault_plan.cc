@@ -1,0 +1,208 @@
+#include "fault_plan.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace mcd {
+namespace fault {
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::Throw: return "throw";
+      case FaultKind::Flaky: return "flaky";
+      case FaultKind::Stall: return "stall";
+      case FaultKind::TruncateCache: return "truncate";
+      case FaultKind::CorruptCache: return "corrupt";
+    }
+    return "?";
+}
+
+InjectedFault::InjectedFault(const std::string &site, bool transient_)
+    : std::runtime_error("injected fault at " + site +
+                         (transient_ ? " (transient)" : "")),
+      where(site), isTransient(transient_)
+{}
+
+namespace {
+
+[[noreturn]] void
+badSpec(const std::string &item, const char *why)
+{
+    fatal("MCD_FAULT_PLAN: bad item '" + item + "': " + why +
+          " (grammar: leg:<bench>/<leg>=throw|flaky[:k]|stall; "
+          "cache:<bench>=truncate|corrupt; seed=N)");
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    std::string item;
+    std::istringstream ss(spec);
+    while (std::getline(ss, item, ';')) {
+        if (item.empty())
+            continue;
+        if (item.rfind("seed=", 0) == 0) {
+            char *end = nullptr;
+            plan.rngSeed = std::strtoull(item.c_str() + 5, &end, 10);
+            if (!end || *end)
+                badSpec(item, "seed must be an unsigned integer");
+            continue;
+        }
+        std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            badSpec(item, "missing '='");
+        std::string target = item.substr(0, eq);
+        std::string action = item.substr(eq + 1);
+
+        FaultSpec fs;
+        if (target.rfind("leg:", 0) == 0) {
+            fs.site = target.substr(4);
+            if (fs.site.find('/') == std::string::npos)
+                badSpec(item, "leg site must be <bench>/<leg>");
+            std::size_t colon = action.find(':');
+            std::string verb = action.substr(0, colon);
+            if (verb == "throw") {
+                fs.kind = FaultKind::Throw;
+            } else if (verb == "flaky") {
+                fs.kind = FaultKind::Flaky;
+                if (colon != std::string::npos) {
+                    char *end = nullptr;
+                    long k = std::strtol(
+                        action.c_str() + colon + 1, &end, 10);
+                    if (!end || *end || k < 1)
+                        badSpec(item, "flaky count must be >= 1");
+                    fs.count = static_cast<int>(k);
+                }
+            } else if (verb == "stall") {
+                fs.kind = FaultKind::Stall;
+            } else {
+                badSpec(item, "unknown leg action");
+            }
+            if (fs.kind != FaultKind::Flaky &&
+                colon != std::string::npos) {
+                badSpec(item, "only flaky takes a count");
+            }
+        } else if (target.rfind("cache:", 0) == 0) {
+            fs.site = target.substr(6);
+            if (fs.site.empty() ||
+                fs.site.find('/') != std::string::npos) {
+                badSpec(item, "cache site must be a benchmark name");
+            }
+            if (action == "truncate")
+                fs.kind = FaultKind::TruncateCache;
+            else if (action == "corrupt")
+                fs.kind = FaultKind::CorruptCache;
+            else
+                badSpec(item, "unknown cache action");
+        } else {
+            badSpec(item, "target must start with leg: or cache:");
+        }
+        if (fs.site.empty())
+            badSpec(item, "empty site");
+        plan.armed.push_back(std::move(fs));
+    }
+    return plan;
+}
+
+std::shared_ptr<const FaultPlan>
+FaultPlan::fromEnv(const char *var)
+{
+    const char *spec = std::getenv(var);
+    if (!spec || !*spec)
+        return nullptr;
+    return std::make_shared<const FaultPlan>(parse(spec));
+}
+
+const FaultSpec *
+FaultPlan::findLeg(const std::string &site, FaultKind kind) const
+{
+    for (const FaultSpec &fs : armed) {
+        if (fs.kind == kind && fs.site == site)
+            return &fs;
+    }
+    return nullptr;
+}
+
+void
+FaultPlan::onLegAttempt(const std::string &site, int attempt) const
+{
+    if (findLeg(site, FaultKind::Throw))
+        throw InjectedFault(site, /*transient=*/false);
+    if (const FaultSpec *fs = findLeg(site, FaultKind::Flaky)) {
+        if (attempt <= fs->count)
+            throw InjectedFault(site, /*transient=*/true);
+    }
+}
+
+bool
+FaultPlan::stallsLeg(const std::string &site) const
+{
+    return !site.empty() && findLeg(site, FaultKind::Stall) != nullptr;
+}
+
+bool
+FaultPlan::legFaultsFor(const std::string &bench) const
+{
+    std::string prefix = bench + "/";
+    for (const FaultSpec &fs : armed) {
+        bool legKind = fs.kind == FaultKind::Throw ||
+            fs.kind == FaultKind::Flaky || fs.kind == FaultKind::Stall;
+        if (legKind && fs.site.rfind(prefix, 0) == 0)
+            return true;
+    }
+    return false;
+}
+
+std::optional<FaultKind>
+FaultPlan::cacheFault(const std::string &bench) const
+{
+    for (const FaultSpec &fs : armed) {
+        bool cacheKind = fs.kind == FaultKind::TruncateCache ||
+            fs.kind == FaultKind::CorruptCache;
+        if (cacheKind && fs.site == bench)
+            return fs.kind;
+    }
+    return std::nullopt;
+}
+
+bool
+damageFile(const std::string &path, FaultKind kind)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+    in.close();
+
+    if (kind == FaultKind::TruncateCache) {
+        bytes.resize(bytes.size() / 2);
+    } else {
+        // Flip a run of payload bytes in the middle of the file; the
+        // version header (first line) is left intact so the read path
+        // exercises the checksum, not the version check.
+        std::size_t start = bytes.size() / 2;
+        for (std::size_t i = start;
+             i < bytes.size() && i < start + 8; ++i) {
+            bytes[i] = static_cast<char>(bytes[i] ^ 0x2a);
+        }
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    return static_cast<bool>(out);
+}
+
+} // namespace fault
+} // namespace mcd

@@ -127,5 +127,15 @@ Telemetry::onSample(const TimeSample &s)
     ts.record(s);
 }
 
+void
+Telemetry::onWatchdogTrip(Tick when)
+{
+    reg.counter("run.watchdog_trips",
+                "runs aborted by the no-progress/budget watchdog")
+        .inc();
+    if (exp.enabled())
+        exp.instant("watchdog trip", "fault", 0, when);
+}
+
 } // namespace obs
 } // namespace mcd

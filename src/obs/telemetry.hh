@@ -84,6 +84,13 @@ class Telemetry
     /** A periodic sample captured by the simulator loop. */
     void onSample(const TimeSample &s);
 
+    /**
+     * The run-loop watchdog tripped at @p when: counts the event and
+     * drops an instant in the trace so an aborted leg's last moments
+     * are visible next to the healthy ones.
+     */
+    void onWatchdogTrip(Tick when);
+
   private:
     TelemetryConfig cfg;
     StatsRegistry reg;

@@ -147,7 +147,42 @@ TEST(ExperimentCache, RejectsGarbage)
     EXPECT_FALSE(expcache::read(in, "x").has_value());
 }
 
-TEST(ExperimentCache, CorruptFileFallsBackToRecompute)
+TEST(ExperimentCache, RejectsChecksumMismatch)
+{
+    std::stringstream ss;
+    expcache::write(ss, synthetic());
+    std::string text = ss.str();
+    // Flip one digit deep inside the payload. The record still parses
+    // (same shape, different value), so only the trailing FNV-1a
+    // checksum can catch it.
+    std::size_t pos = text.find("217000");
+    ASSERT_NE(pos, std::string::npos);
+    std::string flipped = text;
+    flipped[pos] = '9';
+    std::istringstream in(flipped);
+    EXPECT_FALSE(expcache::read(in, "synthetic").has_value());
+    // The unflipped original still reads fine.
+    std::istringstream ok(text);
+    EXPECT_TRUE(expcache::read(ok, "synthetic").has_value());
+}
+
+TEST(ExperimentCache, RejectsMissingEndSentinel)
+{
+    std::stringstream ss;
+    expcache::write(ss, synthetic());
+    std::string text = ss.str();
+    std::size_t pos = text.rfind("end");
+    ASSERT_NE(pos, std::string::npos);
+    // Even with a checksum recomputed over the sentinel-free payload,
+    // the reader must notice the missing terminator.
+    std::string payload = text.substr(0, pos);
+    std::ostringstream forged;
+    forged << payload;     // no "end", no checksum line at all
+    std::istringstream in(forged.str());
+    EXPECT_FALSE(expcache::read(in, "synthetic").has_value());
+}
+
+TEST(ExperimentCache, CorruptFileIsQuarantinedAndRecomputed)
 {
     fs::path dir = fs::temp_directory_path() / "mcd-cache-corrupt";
     fs::remove_all(dir);
@@ -156,7 +191,8 @@ TEST(ExperimentCache, CorruptFileFallsBackToRecompute)
     ec.cacheDir = dir.string();
     ExperimentRunner runner(ec);
 
-    // Plant a torn/corrupt file exactly where the cache would look.
+    // Plant a torn file — current version header, truncated payload —
+    // exactly where the cache would look.
     fs::create_directories(dir);
     std::string path = runner.cachePath("mst");
     ASSERT_FALSE(path.empty());
@@ -165,19 +201,51 @@ TEST(ExperimentCache, CorruptFileFallsBackToRecompute)
         out << expcache::version << "\n6.25e+08 42";     // truncated
     }
 
-    // Must silently recompute (no crash), then overwrite the corrupt
-    // file with a complete one that a fresh runner loads.
+    // Must recompute (no crash) and quarantine the damaged bytes.
     BenchmarkResults fresh = runner.runBenchmark("mst");
     EXPECT_GT(fresh.baseline.committed, 0u);
+    EXPECT_EQ(runner.cacheQuarantines(), 1u);
+    EXPECT_TRUE(fs::exists(path + ".corrupt"));
 
+    // The recomputed row was republished; a fresh runner loads it.
     ExperimentRunner again(ec);
     BenchmarkResults cached = again.runBenchmark("mst");
     expectEqual(fresh, cached);
+    EXPECT_EQ(again.cacheQuarantines(), 0u);
 
-    // Atomic publication: only the final .txt may exist, no leftover
-    // temporaries.
-    for (const auto &e : fs::directory_iterator(dir))
-        EXPECT_EQ(e.path().extension(), ".txt") << e.path();
+    // Atomic publication: only the final .txt plus the quarantined
+    // .corrupt may exist — no leftover temporaries.
+    for (const auto &e : fs::directory_iterator(dir)) {
+        bool expected = e.path().extension() == ".txt" ||
+                        e.path().extension() == ".corrupt";
+        EXPECT_TRUE(expected) << e.path();
+    }
+    fs::remove_all(dir);
+}
+
+TEST(ExperimentCache, StaleVersionRecomputesWithoutQuarantine)
+{
+    fs::path dir = fs::temp_directory_path() / "mcd-cache-stale";
+    fs::remove_all(dir);
+
+    ExperimentConfig ec;
+    ec.cacheDir = dir.string();
+    ExperimentRunner runner(ec);
+
+    fs::create_directories(dir);
+    std::string path = runner.cachePath("mst");
+    ASSERT_FALSE(path.empty());
+    {
+        std::ofstream out(path);
+        out << "mcd-cache-v0\nwhatever came before\n";
+    }
+
+    // Format churn is expected, not damage: silent recompute, no
+    // quarantine file.
+    BenchmarkResults fresh = runner.runBenchmark("mst");
+    EXPECT_GT(fresh.baseline.committed, 0u);
+    EXPECT_EQ(runner.cacheQuarantines(), 0u);
+    EXPECT_FALSE(fs::exists(path + ".corrupt"));
     fs::remove_all(dir);
 }
 

@@ -82,6 +82,60 @@ TEST(ThreadPool, ExceptionPropagatesInlineMode)
     EXPECT_THROW(pool.wait(f), std::runtime_error);
 }
 
+TEST(ThreadPool, ManyThrowingTasksNeitherTerminateNorDeadlock)
+{
+    // One throwing task per pending wait, across every worker mode:
+    // each exception must arrive at its own waiter, the pool must
+    // keep serving later tasks, and teardown must still join cleanly.
+    for (unsigned workers : {0u, 1u, 4u}) {
+        ThreadPool pool(workers);
+        std::vector<std::future<int>> futs;
+        for (int i = 0; i < 32; ++i) {
+            futs.push_back(pool.submit([i]() -> int {
+                if (i % 3 == 0)
+                    throw std::runtime_error("task " + std::to_string(i));
+                return i;
+            }));
+        }
+        int caught = 0;
+        int sum = 0;
+        for (auto &f : futs) {
+            try {
+                sum += pool.wait(f);
+            } catch (const std::runtime_error &) {
+                ++caught;
+            }
+        }
+        EXPECT_EQ(caught, 11) << workers << " workers";
+        // The survivors all completed with their own values.
+        int want = 0;
+        for (int i = 0; i < 32; ++i)
+            want += i % 3 == 0 ? 0 : i;
+        EXPECT_EQ(sum, want) << workers << " workers";
+        // The pool is still alive and usable after the failures.
+        auto after = pool.submit([] { return 99; });
+        EXPECT_EQ(pool.wait(after), 99);
+    }
+}
+
+TEST(ThreadPool, NestedHelpingWaitSurvivesInnerThrow)
+{
+    // The helping wait may execute the throwing inner task on the
+    // outer task's thread; the exception must still route through the
+    // inner future, not unwind the helper.
+    ThreadPool pool(1);
+    auto outer = pool.submit([&pool] {
+        auto bad = pool.submit([]() -> int {
+            throw std::runtime_error("inner");
+        });
+        auto good = pool.submit([] { return 5; });
+        int got = pool.wait(good);
+        EXPECT_THROW(pool.wait(bad), std::runtime_error);
+        return got;
+    });
+    EXPECT_EQ(pool.wait(outer), 5);
+}
+
 TEST(ThreadPool, NestedSubmitDoesNotDeadlock)
 {
     // A single worker forces the nested waits to be served by the
