@@ -104,6 +104,36 @@ class DomainDvfs
     /** True while the PLL is re-locking (domain does no work). */
     bool executionBlocked(Tick now) const;
 
+    /** nextEventTime() value when no transition work is pending. */
+    static constexpr Tick never = ~Tick{0};
+
+    /**
+     * Earliest tick at which this engine has state-machine work to do
+     * (PLL re-lock expiry or the next voltage step), or @ref never
+     * when idle. The run loop's edge actors latch this so update() is
+     * called only at edges where it can make progress, instead of at
+     * every edge; the update(now) contract is unchanged — servicing
+     * at the first edge at-or-after the returned tick reproduces the
+     * legacy call-every-edge trajectory exactly, because update()
+     * anchors its effects to the recorded event times (relockEnd, the
+     * step schedule), not to the calling edge.
+     *
+     * Invariant relied on (see update()): after any update() or
+     * requestFrequency() call returns, an active transition is either
+     * re-locking or ramping, so those two times cover every pending
+     * event. The 0 fallback (service at the very next edge) keeps a
+     * hypothetical third state safe rather than silently stalled.
+     */
+    Tick
+    nextEventTime() const
+    {
+        if (relocking)
+            return relockEnd;
+        if (active)
+            return ramping ? nextStepTime : 0;
+        return never;
+    }
+
     /** True while a transition is in progress. */
     bool transitioning() const { return active; }
 

@@ -17,8 +17,11 @@
 #ifndef MCD_CLOCK_SYNC_HH
 #define MCD_CLOCK_SYNC_HH
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -144,6 +147,173 @@ class SyncChannel
 
     SyncRule rule;
     std::deque<Entry> entries;
+};
+
+/**
+ * A hardware queue crossing a domain boundary: the producer writes
+ * entries stamped with its edge time, the consumer — at its own edges
+ * — may act only on entries the SyncRule makes visible, and every
+ * blocked probe is counted at the port so synchronization-stall
+ * statistics fall out of the boundary layer instead of being
+ * hand-threaded through stage code.
+ *
+ * Unlike SyncChannel (a strict FIFO), SyncPort exposes indexed
+ * consumer-side access because the hardware structures it models scan
+ * out of order: issue queues pick any ready entry, and the LSQ walks
+ * with store-forwarding look-back. The sequence container is a
+ * template parameter so each structure keeps the layout its scan
+ * pattern wants (vector + erase-compaction for the issue queues,
+ * deque + head-pop for the LSQ).
+ */
+template <typename T, template <typename...> class Seq = std::vector>
+class SyncPort
+{
+  public:
+    struct Entry
+    {
+        T value;
+        Tick wrote;     //!< producer edge time of the write
+    };
+
+    explicit SyncPort(SyncRule rule_ = SyncRule()) : rule(rule_) {}
+
+    void setRule(SyncRule rule_) { rule = rule_; }
+    const SyncRule &syncRule() const { return rule; }
+
+    /** Producer side: enqueue @p value at producer edge @p wrote. */
+    void push(T value, Tick wrote) { q.push_back({value, wrote}); }
+
+    std::size_t size() const { return q.size(); }
+    bool empty() const { return q.empty(); }
+
+    Entry &operator[](std::size_t i) { return q[i]; }
+    const Entry &operator[](std::size_t i) const { return q[i]; }
+
+    Entry &front() { return q.front(); }
+    const Entry &front() const { return q.front(); }
+
+    /**
+     * Consumer side: may @p e be acted on at consumer edge @p now?
+     * A blocked probe (entry present but not yet synchronized) is
+     * counted; the consumer decides whether to skip the entry or
+     * stall the whole scan.
+     */
+    bool
+    probe(const Entry &e, Tick now)
+    {
+        if (rule.visible(e.wrote, now))
+            return true;
+        ++waitCount;
+        return false;
+    }
+
+    /** Visibility test without wait accounting (test hook). */
+    bool peek(const Entry &e, Tick now) const
+    { return rule.visible(e.wrote, now); }
+
+    /** Consumer dequeues the head (deque-backed ports). */
+    void popFront() { q.pop_front(); }
+
+    /** Drop every entry satisfying @p pred (vector-backed ports). */
+    template <typename Pred>
+    void
+    eraseIf(Pred pred)
+    {
+        q.erase(std::remove_if(q.begin(), q.end(), pred), q.end());
+    }
+
+    auto begin() { return q.begin(); }
+    auto end() { return q.end(); }
+    auto begin() const { return q.begin(); }
+    auto end() const { return q.end(); }
+
+    /** Blocked probes accumulated at this boundary. */
+    std::uint64_t waits() const { return waitCount; }
+
+  private:
+    SyncRule rule;
+    Seq<Entry> q;
+    std::uint64_t waitCount = 0;
+};
+
+/**
+ * A single cross-domain ready signal (e.g. the generated address an
+ * LSQ entry waits for from the integer domain): asserted at a source
+ * edge time, consumable once the SyncRule admits it. Probes of an
+ * asserted-but-not-yet-visible signal are counted; probes of an
+ * unasserted signal are not (there is nothing in flight to wait on).
+ */
+class SyncSignal
+{
+  public:
+    explicit SyncSignal(SyncRule rule_ = SyncRule()) : rule(rule_) {}
+
+    void setRule(SyncRule rule_) { rule = rule_; }
+    const SyncRule &syncRule() const { return rule; }
+
+    bool
+    probe(bool asserted, Tick wrote, Tick now)
+    {
+        if (!asserted)
+            return false;
+        if (rule.visible(wrote, now))
+            return true;
+        ++waitCount;
+        return false;
+    }
+
+    std::uint64_t waits() const { return waitCount; }
+
+  private:
+    SyncRule rule;
+    std::uint64_t waitCount = 0;
+};
+
+/**
+ * The many-source completion bus into one consumer domain: signals
+ * tagged with their producing domain, each crossing under that
+ * (source, consumer) pair's rule. The ROB's commit gate is the
+ * canonical instance (any back-end domain -> front end); probeQuiet
+ * serves probes that must not count as stalls (the fetch stage
+ * watching a mispredicted branch resolve is a spectator, not a
+ * stalled consumer).
+ */
+class SyncSignalGate
+{
+  public:
+    SyncSignalGate() = default;
+
+    void
+    setRule(Domain from, SyncRule rule_)
+    {
+        rules[domainIndex(from)] = rule_;
+    }
+
+    const SyncRule &rule(Domain from) const
+    { return rules[domainIndex(from)]; }
+
+    /** Counting probe: a blocked signal stalls the consumer. */
+    bool
+    probe(Domain from, Tick wrote, Tick now)
+    {
+        if (rules[domainIndex(from)].visible(wrote, now))
+            return true;
+        ++waitCount;
+        return false;
+    }
+
+    /** Non-counting probe for spectators. */
+    bool
+    probeQuiet(Domain from, Tick wrote, Tick now) const
+    {
+        return rules[domainIndex(from)].visible(wrote, now);
+    }
+
+    std::uint64_t waits() const { return waitCount; }
+
+  private:
+    std::array<SyncRule, numDomains> rules{};
+    std::uint64_t waitCount = 0;
 };
 
 /**

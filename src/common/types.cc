@@ -1,6 +1,29 @@
 #include "types.hh"
 
+#include <cstdio>
+
 namespace mcd {
+
+std::string
+formatTick(Tick t)
+{
+    char buf[64];
+    if (t < 10'000ULL) {
+        std::snprintf(buf, sizeof(buf), "%llu ps",
+                      static_cast<unsigned long long>(t));
+        return buf;
+    }
+    if (t < 10'000'000ULL) {
+        std::snprintf(buf, sizeof(buf), "%.3f ns (%llu ps)",
+                      static_cast<double>(t) / 1e3,
+                      static_cast<unsigned long long>(t));
+        return buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%.3f us (%llu ps)",
+                  static_cast<double>(t) / 1e6,
+                  static_cast<unsigned long long>(t));
+    return buf;
+}
 
 const char *
 domainName(Domain d)

@@ -84,6 +84,13 @@ domainIndex(Domain d)
     return static_cast<int>(d);
 }
 
+/** Inverse of domainIndex (@p i must be in [0, numDomains)). */
+inline constexpr Domain
+domainFromIndex(int i)
+{
+    return static_cast<Domain>(i);
+}
+
 /**
  * One recorded frequency change: a point in a per-domain frequency
  * series (Figure 8 traces, telemetry frequency series). Lives here
@@ -95,6 +102,14 @@ struct FreqTracePoint
     Tick when = 0;
     Hertz frequency = 0.0;
 };
+
+/**
+ * Render a tick for human-facing output (watchdog messages, log
+ * warnings, bench summaries): picoseconds up to 10 ns, then ns up to
+ * 10 us, then us — always suffixed with the raw tick so the exact
+ * value stays greppable, e.g. "15.000 us (15000000 ps)".
+ */
+std::string formatTick(Tick t);
 
 /** Human-readable domain name. */
 const char *domainName(Domain d);

@@ -1,5 +1,6 @@
 #include "experiment.hh"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstdio>
@@ -399,11 +400,21 @@ void
 writeTelemetryTrace(std::ostream &os, const std::vector<NamedRun> &runs)
 {
     std::vector<obs::TraceProcess> procs;
+    std::size_t events = 0;
+    Tick span = 0;
     for (const NamedRun &nr : runs) {
-        if (nr.run && nr.run->telemetry)
-            procs.push_back({nr.name, &nr.run->telemetry->trace()});
+        if (nr.run && nr.run->telemetry) {
+            const obs::TraceExporter &trace = nr.run->telemetry->trace();
+            procs.push_back({nr.name, &trace});
+            events += trace.events().size();
+            for (const obs::TraceEvent &e : trace.events())
+                span = std::max(span, e.ts + e.dur);
+        }
     }
     obs::writeChromeTrace(os, procs);
+    inform("trace export: " + std::to_string(events) + " events from " +
+           std::to_string(procs.size()) + " runs spanning " +
+           formatTick(span));
 }
 
 ExperimentRunner::ExperimentRunner(ExperimentConfig cfg)

@@ -64,9 +64,9 @@ McdProcessor::McdProcessor(const SimConfig &config, const Program &program)
         collector.reserve(hint);
     }
 
-    pipe = std::make_unique<Pipeline>(
+    pipe = std::make_unique<CoreUnits>(
         cfg.core, oracle, *memory, clocks, cfg.syncFraction,
-        power.get(), &collector);
+        power.get(), &collector, cfg.maxInstructions);
 
     // Telemetry context: the Figure 8 trace now reads the sampler's
     // frequency series, so recordFreqTrace forces that channel on even
@@ -104,6 +104,8 @@ McdProcessor::McdProcessor(const SimConfig &config, const Program &program)
  * One controller step for domain @p d at edge time @p now: drain the
  * pipeline's occupancy window into an observation, then forward every
  * request the controller produced to the matching transition engine.
+ * Engines that accepted a request get their wake latch refreshed so
+ * the edge actors service the new transition on time.
  */
 void
 McdProcessor::observeAndControl(Domain d, int di, Tick now)
@@ -124,8 +126,11 @@ McdProcessor::observeAndControl(Domain d, int di, Tick now)
                 telem->onControllerDecision(controller->name(), q.domain,
                                             now, q.frequency);
             }
-            if (DomainDvfs *engine = dvfs[domainIndex(q.domain)].get())
+            int qi = domainIndex(q.domain);
+            if (DomainDvfs *engine = dvfs[qi].get()) {
                 engine->requestFrequency(now, q.frequency);
+                dvfsWake[qi] = engine->nextEventTime();
+            }
         }
         controller->clearRequests();
     }
@@ -153,132 +158,212 @@ McdProcessor::captureSample(Tick now)
     telem->onSample(s);
 }
 
+[[noreturn]] void
+McdProcessor::watchdogTripNow(const std::string &why, Tick at)
+{
+    if (telem)
+        telem->onWatchdogTrip(at);
+    throw WatchdogError(
+        "McdProcessor watchdog: " + why + " at t=" + formatTick(at) +
+        " after " + std::to_string(pipe->committed()) + " commits" +
+        (stallInjected ? " [injected stall]" : ""));
+}
+
+/**
+ * Lazy no-progress watchdog: instead of comparing the commit counter
+ * at every edge, the edge actors count edges and this checkpoint runs
+ * once per watchdogNoProgressEdges+1 of them. A window that ends with
+ * the commit counter unchanged (or with an injected stall armed) trips
+ * with the same message, tick, and edge count as the legacy per-edge
+ * check for a run that never progresses; a run that progresses and
+ * then deadlocks trips within two windows instead of exactly one —
+ * an observable difference only in already-failing runs.
+ */
+void
+McdProcessor::progressCheckpoint(Tick t)
+{
+    if (stallInjected || pipe->committed() == progressCommits) {
+        watchdogTripNow("no commit progress for " +
+                        std::to_string(edgeCount - progressBaseEdge) +
+                        " edges (deadlock?)", t);
+    }
+    progressCommits = pipe->committed();
+    progressBaseEdge = edgeCount;
+    nextProgressCheck = edgeCount + cfg.watchdogNoProgressEdges + 1;
+}
+
+/**
+ * Hop @p a onto the first upcoming clock edge: same tick as that
+ * edge, in the priority slot directly after it (ties across domains
+ * resolve to the lowest domain index, matching the legacy loop's
+ * min-scan).
+ */
+void
+McdProcessor::scheduleAfterNextEdge(Actor *a)
+{
+    int d = 0;
+    if (cfg.clocking == ClockingStyle::Mcd) {
+        for (int i = 1; i < numDomains; ++i) {
+            if (nextEdgeCache[i] < nextEdgeCache[d])
+                d = i;
+        }
+    }
+    sched.schedule(a, nextEdgeCache[d], EventScheduler::afterEdgePriority(d));
+}
+
+Tick
+McdProcessor::EdgeActor::fire(Tick)
+{
+    ClockDomain *c = p->clocks[di];
+    Tick t = c->advance();
+    p->domainEdge(static_cast<Domain>(di), di, t);
+    Tick next = c->peekNextEdge();
+    p->nextEdgeCache[di] = next;
+    return next;
+}
+
+Tick
+McdProcessor::GlobalEdgeActor::fire(Tick)
+{
+    ClockDomain *c = p->clocks[0];
+    Tick t = c->advance();
+    p->globalEdge(t);
+    Tick next = c->peekNextEdge();
+    p->nextEdgeCache[0] = next;
+    return next;
+}
+
+Tick
+McdProcessor::SampleActor::fire(Tick now)
+{
+    if (!deferred) {
+        deferred = true;
+        p->scheduleAfterNextEdge(this);
+        return never;
+    }
+    deferred = false;
+    p->captureSample(now);
+    p->sched.schedule(this, p->telem->sampler().nextDue(),
+                      EventScheduler::armPriority);
+    return never;
+}
+
+Tick
+McdProcessor::BudgetActor::fire(Tick now)
+{
+    if (!deferred) {
+        deferred = true;
+        p->scheduleAfterNextEdge(this);
+        return never;
+    }
+    p->watchdogTripNow("simulated-time budget exhausted", now);
+}
+
+/** One MCD domain edge: DVFS service, controller step, domain work. */
+void
+McdProcessor::domainEdge(Domain d, int di, Tick t)
+{
+    bool blocked = false;
+    if (DomainDvfs *dv = dvfs[di].get()) {
+        if (t >= dvfsWake[di]) {
+            dv->update(t);
+            dvfsWake[di] = dv->nextEventTime();
+        }
+        if (controller && t >= nextObserve[di])
+            observeAndControl(d, di, t);
+        blocked = dv->executionBlocked(t);
+    }
+    if (!blocked)
+        pipe->tickDomain(d, t);
+    power->domainCycle(d, blocked);
+    freqAcc[di].edge(t, clocks[di]->frequency());
+
+    if (++edgeCount >= nextProgressCheck)
+        progressCheckpoint(t);
+}
+
+/** One shared-clock edge: all four logical domains in pipeline order. */
+void
+McdProcessor::globalEdge(Tick t)
+{
+    for (int d = 0; d < numDomains; ++d) {
+        pipe->tickDomain(static_cast<Domain>(d), t);
+        power->domainCycle(static_cast<Domain>(d), false);
+        freqAcc[d].edge(t, clocks[d]->frequency());
+    }
+    if (++edgeCount >= nextProgressCheck)
+        progressCheckpoint(t);
+}
+
 RunResult
 McdProcessor::run()
 {
     bool mcd = cfg.clocking == ClockingStyle::Mcd;
 
-    std::array<double, numDomains> freqTimeSum{};
-    std::array<Tick, numDomains> prevEdge{};
-    std::array<Tick, numDomains> firstEdge{};
-    std::array<Hertz, numDomains> minFreq;
-    std::array<Hertz, numDomains> maxFreq;
     for (int d = 0; d < numDomains; ++d) {
-        prevEdge[d] = clocks[d]->now();
-        firstEdge[d] = clocks[d]->now();
-        minFreq[d] = maxFreq[d] = clocks[d]->frequency();
+        freqAcc[d] = obs::FreqAccumulator(clocks[d]->now(),
+                                          clocks[d]->frequency());
+        dvfsWake[d] = dvfs[d] ? dvfs[d]->nextEventTime() : Actor::never;
     }
-
-    std::uint64_t lastProgress = 0;
-    std::uint64_t edgesSinceProgress = 0;
 
     // An armed Stall fault suppresses the progress signal, so the run
     // looks deadlocked to the watchdog and must be cut cleanly.
-    const bool stallInjected =
-        cfg.faults && cfg.faults->stallsLeg(cfg.faultSite);
+    stallInjected = cfg.faults && cfg.faults->stallsLeg(cfg.faultSite);
+    edgeCount = 0;
+    progressBaseEdge = 0;
+    progressCommits = 0;
+    nextProgressCheck = cfg.watchdogNoProgressEdges
+        ? cfg.watchdogNoProgressEdges + 1 : ~std::uint64_t{0};
 
-    auto watchdogTrip = [&](const std::string &why, Tick at) {
-        if (telem)
-            telem->onWatchdogTrip(at);
-        throw WatchdogError(
-            "McdProcessor watchdog: " + why + " at t=" +
-            std::to_string(at) + " ps after " +
-            std::to_string(pipe->committed()) + " commits" +
-            (stallInjected ? " [injected stall]" : ""));
-    };
-
-    auto stop = [&]() {
-        if (pipe->done())
-            return true;
-        return cfg.maxInstructions &&
-            pipe->committed() >= cfg.maxInstructions;
-    };
-
-    auto tickOne = [&](Domain d, Tick t) {
-        int di = domainIndex(d);
-        bool blocked = false;
-        if (mcd && dvfs[di]) {
-            dvfs[di]->update(t);
-            if (controller && t >= nextObserve[di])
-                observeAndControl(d, di, t);
-            blocked = dvfs[di]->executionBlocked(t);
-        }
-        if (!blocked)
-            pipe->tickDomain(d, t);
-        power->domainCycle(d, blocked);
-
-        Hertz f = clocks[di]->frequency();
-        freqTimeSum[di] += f * static_cast<double>(t - prevEdge[di]);
-        prevEdge[di] = t;
-        minFreq[di] = std::min(minFreq[di], f);
-        maxFreq[di] = std::max(maxFreq[di], f);
-    };
-
-    // Cached next-edge times for the MCD event loop. One iteration
-    // only ever moves the clock it advances (DVFS updates and the
-    // schedule touch just the ticked domain), so instead of chasing
-    // all four ClockDomain pointers every iteration we mirror the
-    // pending-edge times in a local array and re-reduce over that.
-    std::array<Tick, numDomains> nextEdgeCache{};
-    int minClock = 0;
+    // Populate the event queue: clock-edge actors first, then the
+    // monitors (sampler before time budget), so coincident events at
+    // one (tick, priority) resolve by insertion order exactly as the
+    // legacy [edge; sample; budget] iteration did.
+    sched.clear();
     if (mcd) {
-        for (int d = 0; d < numDomains; ++d)
-            nextEdgeCache[d] = ownedClocks[d]->peekNextEdge();
-        for (int d = 1; d < numDomains; ++d) {
-            if (nextEdgeCache[d] < nextEdgeCache[minClock])
-                minClock = d;
+        for (int d = 0; d < numDomains; ++d) {
+            edgeActors[d].p = this;
+            edgeActors[d].di = d;
+            nextEdgeCache[d] = clocks[d]->peekNextEdge();
+            sched.schedule(&edgeActors[d], nextEdgeCache[d],
+                           EventScheduler::edgePriority(d));
         }
+    } else {
+        globalActor.p = this;
+        nextEdgeCache[0] = clocks[0]->peekNextEdge();
+        sched.schedule(&globalActor, nextEdgeCache[0],
+                       EventScheduler::edgePriority(0));
+    }
+    if (telem) {
+        sampleActor.p = this;
+        sampleActor.deferred = false;
+        sched.schedule(&sampleActor, telem->sampler().nextDue(),
+                       EventScheduler::armPriority);
+    }
+    if (cfg.watchdogMaxTicks &&
+        cfg.watchdogMaxTicks + 1 != Tick{0}) {
+        budgetActor.p = this;
+        budgetActor.deferred = false;
+        sched.schedule(&budgetActor, cfg.watchdogMaxTicks + 1,
+                       EventScheduler::armPriority);
     }
 
-    // Periodic telemetry sampling piggybacks on the event loop: the
-    // due time is mirrored in a local so the hot path pays one compare
-    // per edge (`never` keeps the branch dead when sampling is off).
-    Tick nextSample = telem
-        ? telem->sampler().nextDue() : obs::TimeSeriesSampler::never;
-
-    while (!stop()) {
-        Tick t;
-        if (mcd) {
-            // Advance the clock with the earliest pending edge.
-            ClockDomain *next = ownedClocks[minClock].get();
-            t = next->advance();
-            tickOne(next->id(), t);
-            nextEdgeCache[minClock] = next->peekNextEdge();
-            minClock = 0;
-            for (int d = 1; d < numDomains; ++d) {
-                if (nextEdgeCache[d] < nextEdgeCache[minClock])
-                    minClock = d;
-            }
-        } else {
-            t = ownedClocks[0]->advance();
-            // One global clock: all four logical domains tick in
-            // pipeline order at every edge.
-            for (int d = 0; d < numDomains; ++d)
-                tickOne(static_cast<Domain>(d), t);
-        }
-
-        if (t >= nextSample) {
-            captureSample(t);
-            nextSample = telem->sampler().nextDue();
-        }
-
-        // Watchdog against model deadlocks and runaway runs: both the
-        // no-progress edge budget and the absolute tick budget turn a
-        // hang into a structured, catchable error.
-        if (cfg.watchdogMaxTicks && t > cfg.watchdogMaxTicks)
-            watchdogTrip("simulated-time budget exhausted", t);
-        if (stallInjected || pipe->committed() == lastProgress) {
-            if (cfg.watchdogNoProgressEdges &&
-                ++edgesSinceProgress > cfg.watchdogNoProgressEdges) {
-                watchdogTrip("no commit progress for " +
-                             std::to_string(edgesSinceProgress) +
-                             " edges (deadlock?)", t);
-            }
-        } else {
-            lastProgress = pipe->committed();
-            edgesSinceProgress = 0;
-        }
+    while (!pipe->stopRequested()) {
+        if (!sched.runOne())
+            break;
     }
+    // The legacy loop handled [edge; sample; budget] within a single
+    // iteration before re-checking its stop condition: finish the
+    // monitors deferred onto the stopping edge before exiting, so the
+    // final sample (and a coincident budget trip) land exactly where
+    // they used to.
+    Tick stopTick = sched.currentTick();
+    int stopPri = sched.currentPriority();
+    while (!sched.empty() && sched.nextTick() == stopTick &&
+           sched.nextPriority() == stopPri + 1) {
+        sched.runOne();
+    }
+    sched.clear();
 
     // Assemble the result.
     RunResult r;
@@ -305,12 +390,10 @@ McdProcessor::run()
         if (!mcd)
             s.cycles = ownedClocks[0]->cycles();
         s.energy = power->domainEnergy(static_cast<Domain>(d));
-        Tick span = prevEdge[d] - firstEdge[d];
-        s.avgFrequency = span
-            ? freqTimeSum[d] / static_cast<double>(span)
-            : clocks[d]->frequency();
-        s.minFrequency = minFreq[d];
-        s.maxFrequency = maxFreq[d];
+        s.avgFrequency = freqAcc[d].span()
+            ? freqAcc[d].average() : clocks[d]->frequency();
+        s.minFrequency = freqAcc[d].minimum();
+        s.maxFrequency = freqAcc[d].maximum();
         if (mcd && dvfs[d]) {
             s.reconfigurations = dvfs[d]->reconfigurations();
             if (cfg.recordFreqTrace) {

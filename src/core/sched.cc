@@ -1,0 +1,70 @@
+#include "sched.hh"
+
+#include <utility>
+
+namespace mcd {
+
+void
+EventScheduler::schedule(Actor *a, Tick when, int priority)
+{
+    if (when == Actor::never)
+        return;
+    heap.push_back({when, priority, nextSeq++, a});
+    siftUp(heap.size() - 1);
+}
+
+bool
+EventScheduler::runOne()
+{
+    if (heap.empty())
+        return false;
+
+    // Pop before firing: fire() may schedule new events (edge-latched
+    // monitors re-enter themselves at a different priority), which
+    // would reshuffle the heap under a replace-top of index 0.
+    Event ev = heap[0];
+    heap[0] = heap.back();
+    heap.pop_back();
+    if (!heap.empty())
+        siftDown(0);
+
+    curTick = ev.tick;
+    curPriority = ev.priority;
+    Tick next = ev.actor->fire(ev.tick);
+    if (next != Actor::never)
+        schedule(ev.actor, next, ev.priority);
+    return true;
+}
+
+void
+EventScheduler::siftUp(std::size_t i)
+{
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!heap[i].before(heap[parent]))
+            break;
+        std::swap(heap[i], heap[parent]);
+        i = parent;
+    }
+}
+
+void
+EventScheduler::siftDown(std::size_t i)
+{
+    const std::size_t n = heap.size();
+    for (;;) {
+        std::size_t l = 2 * i + 1;
+        std::size_t r = l + 1;
+        std::size_t best = i;
+        if (l < n && heap[l].before(heap[best]))
+            best = l;
+        if (r < n && heap[r].before(heap[best]))
+            best = r;
+        if (best == i)
+            break;
+        std::swap(heap[i], heap[best]);
+        i = best;
+    }
+}
+
+} // namespace mcd

@@ -100,8 +100,10 @@ SimConfig::validate() const
         for (const ReconfigEntry &e : schedule->all()) {
             std::string at = "schedule entry " + std::to_string(i);
             if (e.when < prev)
-                fatal("SimConfig: " + at + " is out of time order; "
-                      "call ReconfigSchedule::finalize() first");
+                fatal("SimConfig: " + at + " at t=" + formatTick(e.when) +
+                      " is out of time order (previous entry at t=" +
+                      formatTick(prev) + "); call "
+                      "ReconfigSchedule::finalize() first");
             prev = e.when;
             int di = static_cast<int>(e.domain);
             if (di < 0 || di >= numDomains)

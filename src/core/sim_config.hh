@@ -15,7 +15,7 @@
 #include "clock/dvfs.hh"
 #include "common/types.hh"
 #include "cpu/params.hh"
-#include "cpu/pipeline.hh"
+#include "cpu/pipeline_stats.hh"
 #include "mem/cache.hh"
 #include "mem/hierarchy.hh"
 #include "obs/telemetry.hh"

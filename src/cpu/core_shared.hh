@@ -1,0 +1,167 @@
+/**
+ * @file
+ * State shared by the four per-domain execution units, and the typed
+ * synchronization ports wiring them together.
+ *
+ * The units (front_end_unit / int_unit / fp_unit / ls_unit) model the
+ * paper's GALS machine: each owns the structures clocked by its
+ * domain and touches another domain's work only through the ports in
+ * DomainPorts, where the SyncRule of the (source, destination) pair
+ * is applied and blocked probes are counted. CoreShared carries the
+ * genuinely global machine state: the in-flight instruction window
+ * (allocated at fetch, reclaimed at commit), the rename/scoreboard
+ * state the result bus reads, and the references to the oracle,
+ * memory hierarchy, power model, and trace collector.
+ */
+
+#ifndef MCD_CPU_CORE_SHARED_HH
+#define MCD_CPU_CORE_SHARED_HH
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "clock/clock_domain.hh"
+#include "clock/sync.hh"
+#include "cpu/dyn_inst.hh"
+#include "cpu/params.hh"
+#include "cpu/pipeline_stats.hh"
+#include "cpu/regfile.hh"
+#include "isa/executor.hh"
+#include "mem/hierarchy.hh"
+#include "power/power_model.hh"
+#include "trace/trace.hh"
+
+namespace mcd {
+
+/**
+ * Register-result visibility across domains: a consumer may read a
+ * physical register only once the producing domain's write has
+ * crossed under the (producer, consumer) rule. The producer identity
+ * lives in the rename scoreboard, so this port reads RenameState and
+ * applies the rule — the one boundary crossing that is a broadcast
+ * (any domain to any domain) rather than a point-to-point queue.
+ */
+class ResultBus
+{
+  public:
+    ResultBus(const RenameState &int_rename, const RenameState &fp_rename)
+        : intRename(int_rename), fpRename(fp_rename)
+    {}
+
+    void
+    setRule(Domain from, Domain to, SyncRule rule)
+    {
+        rules[domainIndex(from)][domainIndex(to)] = rule;
+    }
+
+    /** May @p consumer read physical register @p phys at @p now? */
+    bool
+    ready(int phys, bool is_fp, Domain consumer, Tick now) const
+    {
+        if (phys == noReg)
+            return true;
+        const RenameState &rs = is_fp ? fpRename : intRename;
+        if (!rs.isReady(phys))
+            return false;
+        return rules[domainIndex(rs.producedBy(phys))]
+                    [domainIndex(consumer)]
+            .visible(rs.readyAt(phys), now);
+    }
+
+  private:
+    const RenameState &intRename;
+    const RenameState &fpRename;
+    std::array<std::array<SyncRule, numDomains>, numDomains> rules{};
+};
+
+/**
+ * Every inter-unit wire of the machine. Constructed by CoreUnits once
+ * the rule matrix is known; the units hold references.
+ */
+struct DomainPorts
+{
+    DomainPorts(const RenameState &int_rename,
+                const RenameState &fp_rename,
+                int int_iq_credits, int fp_iq_credits)
+        : intIqCredits(SyncRule(false, 0), int_iq_credits),
+          fpIqCredits(SyncRule(false, 0), fp_iq_credits),
+          results(int_rename, fp_rename)
+    {}
+
+    /** Dispatch into the issue queues and LSQ (front end -> back end). */
+    SyncPort<DynInst *, std::vector> intIq;
+    SyncPort<DynInst *, std::vector> fpIq;
+    SyncPort<DynInst *, std::deque> lsq;
+
+    /** Issue-queue slot returns (back end -> front end). */
+    CreditReturnChannel intIqCredits;
+    CreditReturnChannel fpIqCredits;
+
+    /** Generated addresses (integer domain -> LSQ). */
+    SyncSignal addr;
+
+    /** Completion/resolution signals into the front end (commit gate,
+     *  branch-resolution watch). */
+    SyncSignalGate completion;
+
+    /** Cross-domain register-result visibility. */
+    ResultBus results;
+};
+
+/**
+ * Machine-global state and environment shared by the four units.
+ */
+struct CoreShared
+{
+    CoreShared(const CoreParams &params, Executor &oracle_,
+               MemoryHierarchy &memory,
+               std::array<ClockDomain *, numDomains> clocks,
+               PowerModel *power, TraceCollector *collector)
+        : cfg(params), oracle(oracle_), mem(memory), clk(clocks),
+          powerModel(power), tracer(collector),
+          intRename(numArchIntRegs, params.physIntRegs),
+          fpRename(numArchFpRegs, params.physFpRegs)
+    {}
+
+    CoreParams cfg;     //!< owned copy: callers may pass temporaries
+    Executor &oracle;
+    MemoryHierarchy &mem;
+    std::array<ClockDomain *, numDomains> clk;
+    PowerModel *powerModel;
+    TraceCollector *tracer;
+
+    RenameState intRename;
+    RenameState fpRename;
+
+    // Instruction window storage (fetch order; popped at commit).
+    std::deque<DynInst> window;
+
+    Tick lastCommit = 0;
+    bool haltCommitted = false;
+
+    /** Everything except the sync-wait counters, which live in the
+     *  ports and are folded in at CoreUnits::stats() time. */
+    PipelineStats stat;
+
+    void
+    chargePower(Unit u, int count = 1)
+    {
+        if (powerModel && count > 0)
+            powerModel->access(u, count);
+    }
+
+    /** Publish a register result into the rename scoreboard. */
+    void
+    produceResult(DynInst *in, Tick when, Domain producer)
+    {
+        if (in->dest == DestKind::Int)
+            intRename.markReady(in->destPhys, when, producer, in->seq);
+        else if (in->dest == DestKind::Fp)
+            fpRename.markReady(in->destPhys, when, producer, in->seq);
+    }
+};
+
+} // namespace mcd
+
+#endif // MCD_CPU_CORE_SHARED_HH

@@ -1,0 +1,130 @@
+#include "core_units.hh"
+
+#include <algorithm>
+
+namespace mcd {
+
+CoreUnits::CoreUnits(const CoreParams &params, Executor &oracle,
+                     MemoryHierarchy &memory,
+                     std::array<ClockDomain *, numDomains> clocks,
+                     double sync_fraction, PowerModel *power,
+                     TraceCollector *collector, std::uint64_t commit_cap)
+    : shared(params, oracle, memory, clocks, power, collector),
+      ports(shared.intRename, shared.fpRename,
+            params.intIssueQueueSize, params.fpIssueQueueSize),
+      fe(shared, ports), intUnit(shared, ports), fpUnit(shared, ports),
+      lsUnit(shared, ports), commitCap(commit_cap)
+{
+    // Build the synchronization-rule matrix. T_s is 30% of the period
+    // of the highest frequency; 1 GHz is the architectural maximum.
+    Hertz fmax = 0.0;
+    for (ClockDomain *c : clocks)
+        fmax = std::max(fmax, c->frequency());
+    std::array<std::array<SyncRule, numDomains>, numDomains> rules;
+    for (int from = 0; from < numDomains; ++from) {
+        for (int to = 0; to < numDomains; ++to) {
+            bool cross = clocks[from] != clocks[to];
+            rules[from][to] =
+                SyncRule::forMaxFrequency(cross, fmax, sync_fraction);
+            ports.results.setRule(domainFromIndex(from),
+                                  domainFromIndex(to), rules[from][to]);
+        }
+    }
+
+    int fe_i = domainIndex(Domain::FrontEnd);
+    int int_i = domainIndex(Domain::Integer);
+    int fp_i = domainIndex(Domain::FloatingPoint);
+    int ls_i = domainIndex(Domain::LoadStore);
+
+    // Dispatch crosses from the front end into the back-end domains.
+    ports.intIq.setRule(rules[fe_i][int_i]);
+    ports.fpIq.setRule(rules[fe_i][fp_i]);
+    ports.lsq.setRule(rules[fe_i][ls_i]);
+
+    // Issue-queue credit returns cross from the back-end domains into
+    // the front end.
+    ports.intIqCredits = CreditReturnChannel(rules[int_i][fe_i],
+                                             params.intIssueQueueSize);
+    ports.fpIqCredits = CreditReturnChannel(rules[fp_i][fe_i],
+                                            params.fpIssueQueueSize);
+
+    // Generated addresses cross from the integer domain into the LSQ.
+    ports.addr.setRule(rules[int_i][ls_i]);
+
+    // Completion/resolution signals cross from each domain into the
+    // front end.
+    for (int from = 0; from < numDomains; ++from)
+        ports.completion.setRule(domainFromIndex(from), rules[from][fe_i]);
+}
+
+void
+CoreUnits::tickDomain(Domain d, Tick now)
+{
+    int di = domainIndex(d);
+    ++occCycles[di];
+    occSum[di] += queueLength(d);
+
+    switch (d) {
+      case Domain::FrontEnd:
+        fe.tick(now);
+        if (shared.haltCommitted ||
+            (commitCap && shared.stat.committed >= commitCap)) {
+            stopReq = true;
+        }
+        break;
+      case Domain::Integer: intUnit.tick(now); break;
+      case Domain::FloatingPoint: fpUnit.tick(now); break;
+      case Domain::LoadStore: lsUnit.tick(now); break;
+    }
+}
+
+PipelineStats
+CoreUnits::stats() const
+{
+    PipelineStats st = shared.stat;
+    st.syncDispatchWaits = ports.intIq.waits() + ports.fpIq.waits() +
+        ports.lsq.waits();
+    st.syncCommitStalls = ports.completion.waits();
+    st.syncAddrWaits = ports.addr.waits();
+    return st;
+}
+
+std::size_t
+CoreUnits::queueLength(Domain d) const
+{
+    switch (d) {
+      case Domain::FrontEnd: return fe.robLength();
+      case Domain::Integer: return intUnit.queueLength();
+      case Domain::FloatingPoint: return fpUnit.queueLength();
+      case Domain::LoadStore: return lsUnit.queueLength();
+    }
+    return 0;
+}
+
+int
+CoreUnits::queueCapacity(Domain d) const
+{
+    switch (d) {
+      case Domain::FrontEnd: return shared.cfg.robSize;
+      case Domain::Integer: return shared.cfg.intIssueQueueSize;
+      case Domain::FloatingPoint: return shared.cfg.fpIssueQueueSize;
+      case Domain::LoadStore: return shared.cfg.lsqSize;
+    }
+    return 0;
+}
+
+OccupancyWindow
+CoreUnits::takeOccupancyWindow(Domain d)
+{
+    int di = domainIndex(d);
+    OccupancyWindow w;
+    w.cycles = occCycles[di];
+    w.occupancySum = occSum[di];
+    w.queueLength = queueLength(d);
+    w.capacity = queueCapacity(d);
+    occCycles[di] = 0;
+    occSum[di] = 0;
+    return w;
+}
+
+} // namespace mcd

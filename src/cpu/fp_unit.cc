@@ -1,0 +1,69 @@
+#include "fp_unit.hh"
+
+namespace mcd {
+
+void
+FpUnit::tick(Tick now)
+{
+    aluPool.newCycle();
+    mulDivPool.newCycle();
+
+    const double period =
+        s.clk[domainIndex(Domain::FloatingPoint)]->period();
+    int issued = 0;
+    bool anyIssued = false;
+
+    for (auto &ent : p.fpIq) {
+        if (issued >= s.cfg.fpIssueWidth)
+            break;
+        DynInst *in = ent.value;
+        if (in->issued)
+            continue;
+        if (!p.fpIq.probe(ent, now))
+            continue;
+        if (!(p.results.ready(in->src1Phys, in->src1Fp,
+                              Domain::FloatingPoint, now) &&
+              p.results.ready(in->src2Phys, in->src2Fp,
+                              Domain::FloatingPoint, now))) {
+            continue;
+        }
+
+        Opcode op = in->inst.op;
+        bool isLong = fuClass(op) == FuClass::FpMulDivSqrt;
+        FuPool &pool = isLong ? mulDivPool : aluPool;
+        if (!pool.canIssue(now))
+            continue;
+
+        int lat = execLatency(op);
+        Tick done = now + static_cast<Tick>((lat - 0.5) * period);
+        pool.issue(now, done);
+
+        in->issued = true;
+        in->issueTime = now;
+        in->execDoneTime = done;
+        in->executed = true;
+        anyIssued = true;
+
+        if (in->dest != DestKind::None) {
+            s.produceResult(in, done, Domain::FloatingPoint);
+            s.chargePower(Unit::FpRegWrite);
+        }
+
+        s.chargePower(Unit::FpIqIssue);
+        s.chargePower(isLong ? Unit::FpMulDiv : Unit::FpAlu);
+        int reads = (in->src1Phys != noReg && in->src1Fp ? 1 : 0) +
+            (in->src2Phys != noReg && in->src2Fp ? 1 : 0);
+        s.chargePower(Unit::FpRegRead, reads);
+
+        p.fpIqCredits.give(now);
+        ++issued;
+    }
+
+    if (anyIssued) {
+        p.fpIq.eraseIf([](const SyncPort<DynInst *>::Entry &e) {
+            return e.value->issued;
+        });
+    }
+}
+
+} // namespace mcd

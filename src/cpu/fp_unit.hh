@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Floating-point domain unit: 15-entry issue queue, 2 ALUs +
+ * mul/div/sqrt unit.
+ *
+ * Consumes dispatched work from the fpIq SyncPort (front end -> FP),
+ * reads operands over the cross-domain result bus, and returns
+ * issue-queue credits through the synchronized credit channel.
+ */
+
+#ifndef MCD_CPU_FP_UNIT_HH
+#define MCD_CPU_FP_UNIT_HH
+
+#include "cpu/core_shared.hh"
+#include "cpu/fu_pool.hh"
+
+namespace mcd {
+
+class FpUnit
+{
+  public:
+    FpUnit(CoreShared &shared, DomainPorts &ports)
+        : s(shared), p(ports),
+          aluPool(shared.cfg.fpAlus, true),
+          mulDivPool(shared.cfg.fpMulDivs, false)
+    {}
+
+    /** One floating-point-domain cycle at edge time @p now. */
+    void tick(Tick now);
+
+    std::size_t queueLength() const { return p.fpIq.size(); }
+
+  private:
+    CoreShared &s;
+    DomainPorts &p;
+
+    FuPool aluPool;
+    FuPool mulDivPool;
+};
+
+} // namespace mcd
+
+#endif // MCD_CPU_FP_UNIT_HH

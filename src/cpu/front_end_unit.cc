@@ -1,0 +1,371 @@
+#include "front_end_unit.hh"
+
+#include "common/log.hh"
+
+namespace mcd {
+
+namespace {
+
+/** Does this instruction occupy an integer issue-queue slot? */
+bool
+usesIntIq(const Inst &inst)
+{
+    Opcode op = inst.op;
+    if (op == Opcode::NOP || op == Opcode::HALT)
+        return false;
+    // Memory ops use the integer queue for address generation.
+    return isIntAlu(op) || isIntMulDiv(op) || isBranch(op) ||
+        isJump(op) || isMem(op);
+}
+
+bool
+usesFpIq(const Inst &inst)
+{
+    return isFp(inst.op);
+}
+
+} // namespace
+
+void
+FrontEndUnit::commitStage(Tick now)
+{
+    int n = 0;
+    while (n < s.cfg.retireWidth && !rob.empty()) {
+        DynInst *in = rob.front();
+
+        bool complete;
+        if (in->isMemOp()) {
+            complete = in->memDone;
+        } else if (in->isHalt || in->inst.op == Opcode::NOP) {
+            complete = in->executed;
+        } else {
+            complete = in->executed;
+        }
+        if (!complete)
+            break;
+        if (!p.completion.probe(in->completionDomain(),
+                                in->completionTime(), now)) {
+            break;
+        }
+
+        in->commitTime = now;
+        in->retired = true;
+        s.lastCommit = now;
+
+        // No pipeline structure may keep a pointer to a retired
+        // instruction: its window slot is reclaimed below.
+        if (in->isMemOp()) {
+            mcdAssert(!p.lsq.empty() && p.lsq.front().value == in,
+                      "LSQ/commit order mismatch");
+            p.lsq.popFront();
+        }
+        if (stallBranch == in) {
+            // The branch resolved and committed in the same front-end
+            // cycle; begin the redirect penalty now.
+            stallBranch = nullptr;
+            redirectPenaltyLeft = s.cfg.mispredictPenalty;
+        }
+
+        // Free the previous mapping of the destination register.
+        if (in->oldDestPhys != noReg) {
+            if (in->dest == DestKind::Fp)
+                s.fpRename.release(in->oldDestPhys);
+            else
+                s.intRename.release(in->oldDestPhys);
+        }
+        if (in->isMemOp())
+            ++lsqFree;
+
+        s.chargePower(Unit::Rob);
+        ++s.stat.committed;
+        Opcode op = in->inst.op;
+        if (in->isLoadOp())
+            ++s.stat.committedLoads;
+        else if (in->isStoreOp())
+            ++s.stat.committedStores;
+        else if (isFp(op))
+            ++s.stat.committedFp;
+        else if (isControl(op)) {
+            ++s.stat.committedBranches;
+            if (in->mispredicted)
+                ++s.stat.mispredicts;
+        } else {
+            ++s.stat.committedInt;
+        }
+
+        recordTrace(in);
+
+        if (in->isHalt)
+            s.haltCommitted = true;
+
+        rob.pop_front();
+        mcdAssert(!s.window.empty() && &s.window.front() == in,
+                  "commit out of window order");
+        s.window.pop_front();
+        ++n;
+        if (s.haltCommitted)
+            break;
+    }
+}
+
+void
+FrontEndUnit::renameDispatchStage(Tick now)
+{
+    int n = 0;
+    while (n < s.cfg.decodeWidth && !fetchQueue.empty()) {
+        DynInst *in = fetchQueue.front();
+        // Fetch-queue entries become readable the cycle after the
+        // I-cache delivers them.
+        if (now <= in->fetchTime)
+            break;
+        if (!dispatchOne(in, now))
+            break;
+        fetchQueue.pop_front();
+        ++n;
+    }
+}
+
+bool
+FrontEndUnit::dispatchOne(DynInst *in, Tick now)
+{
+    const Inst &inst = in->inst;
+    Opcode op = inst.op;
+
+    if (static_cast<int>(rob.size()) >= s.cfg.robSize) {
+        ++s.stat.robFullStalls;
+        return false;
+    }
+
+    bool needIntIq = usesIntIq(inst);
+    bool needFpIq = usesFpIq(inst);
+    bool needLsq = isMem(op);
+    DestKind dk = destKind(inst);
+
+    if (dk == DestKind::Int && !s.intRename.hasFree()) {
+        ++s.stat.regFullStalls;
+        return false;
+    }
+    if (dk == DestKind::Fp && !s.fpRename.hasFree()) {
+        ++s.stat.regFullStalls;
+        return false;
+    }
+    if (needIntIq && p.intIqCredits.credits(now) <= 0) {
+        ++s.stat.iqFullStalls;
+        return false;
+    }
+    if (needFpIq && p.fpIqCredits.credits(now) <= 0) {
+        ++s.stat.iqFullStalls;
+        return false;
+    }
+    if (needLsq && lsqFree <= 0) {
+        ++s.stat.lsqFullStalls;
+        return false;
+    }
+
+    // Rename sources.
+    if (readsIntRs1(op) && inst.rs1 != reg::zero) {
+        in->src1Phys = s.intRename.lookup(inst.rs1);
+        in->src1Fp = false;
+        in->src1Producer = s.intRename.lastWriterSeq(inst.rs1);
+    } else if (readsFpRs1(op)) {
+        in->src1Phys = s.fpRename.lookup(inst.rs1);
+        in->src1Fp = true;
+        in->src1Producer = s.fpRename.lastWriterSeq(inst.rs1);
+    }
+    if (readsIntRs2(op) && inst.rs2 != reg::zero) {
+        in->src2Phys = s.intRename.lookup(inst.rs2);
+        in->src2Fp = false;
+        in->src2Producer = s.intRename.lastWriterSeq(inst.rs2);
+    } else if (readsFpRs2(op)) {
+        in->src2Phys = s.fpRename.lookup(inst.rs2);
+        in->src2Fp = true;
+        in->src2Producer = s.fpRename.lastWriterSeq(inst.rs2);
+    }
+
+    // Rename destination.
+    in->dest = dk;
+    if (dk == DestKind::Int) {
+        auto [phys, old] = s.intRename.allocate(inst.rd, in->seq);
+        in->destPhys = phys;
+        in->oldDestPhys = old;
+    } else if (dk == DestKind::Fp) {
+        auto [phys, old] = s.fpRename.allocate(inst.rd, in->seq);
+        in->destPhys = phys;
+        in->oldDestPhys = old;
+    }
+
+    in->dispatched = true;
+    in->dispatchTime = now;
+    rob.push_back(in);
+
+    s.chargePower(Unit::Rename);
+    s.chargePower(Unit::Rob);
+    s.chargePower(Unit::FetchQueue);
+
+    if (needIntIq) {
+        p.intIq.push(in, now);
+        p.intIqCredits.take();
+        s.chargePower(Unit::IntIqWrite);
+    }
+    if (needFpIq) {
+        p.fpIq.push(in, now);
+        p.fpIqCredits.take();
+        s.chargePower(Unit::FpIqWrite);
+    }
+    if (needLsq) {
+        p.lsq.push(in, now);
+        --lsqFree;
+        s.chargePower(Unit::Lsq);
+    }
+
+    if (op == Opcode::NOP || op == Opcode::HALT) {
+        // Completes in the front end without visiting a back-end queue.
+        in->executed = true;
+        in->issueTime = now;
+        in->execDoneTime = now + 1;
+    }
+    return true;
+}
+
+void
+FrontEndUnit::fetchStage(Tick now)
+{
+    if (haltFetched)
+        return;
+
+    // Waiting for a mispredicted branch to resolve: the front end
+    // fetches down the wrong path, burning fetch energy to no effect.
+    // The resolution watch is a spectator on the completion gate, so
+    // it probes without stall accounting.
+    if (stallBranch) {
+        if (stallBranch->executed &&
+            p.completion.probeQuiet(execDomain(stallBranch->inst.op),
+                                    stallBranch->execDoneTime, now)) {
+            stallBranch = nullptr;
+            redirectPenaltyLeft = s.cfg.mispredictPenalty;
+            wrongPathChargeLeft = 0;
+        } else {
+            ++s.stat.wrongPathFetchCycles;
+            // Wrong-path fetch burns front-end energy only until the
+            // fetch queue fills; after that the front end sits gated.
+            if (wrongPathChargeLeft > 0) {
+                --wrongPathChargeLeft;
+                s.chargePower(Unit::Icache);
+                s.chargePower(Unit::Bpred);
+            }
+            return;
+        }
+    }
+    if (redirectPenaltyLeft > 0) {
+        --redirectPenaltyLeft;
+        ++s.stat.wrongPathFetchCycles;
+        return;
+    }
+    if (now < fetchReadyTime) {
+        ++s.stat.icacheMissStallCycles;
+        return;
+    }
+
+    const std::uint64_t lineMask =
+        ~static_cast<std::uint64_t>(s.mem.l1i().params().lineBytes - 1);
+    std::uint64_t curLine = 0;
+    Tick groupReady = 0;
+    int fetched = 0;
+
+    while (fetched < s.cfg.decodeWidth &&
+           static_cast<int>(fetchQueue.size()) < s.cfg.fetchQueueSize) {
+        std::uint64_t pc = s.oracle.pc();
+
+        if (fetched == 0) {
+            MemAccessResult r = s.mem.instFetch(pc, now);
+            s.chargePower(Unit::Icache);
+            s.chargePower(Unit::Bpred);
+            if (!r.l1Hit) {
+                // Miss: stall fetch until the line arrives (the line
+                // is installed and hits on retry).
+                fetchReadyTime = r.ready;
+                return;
+            }
+            curLine = pc & lineMask;
+            groupReady = r.ready;
+        } else if ((pc & lineMask) != curLine) {
+            break;  // next line next cycle
+        }
+
+        ExecResult er = s.oracle.step();
+        s.window.emplace_back();
+        DynInst *in = &s.window.back();
+        in->seq = er.seq;
+        in->pc = er.pc;
+        in->inst = er.inst;
+        in->taken = er.taken;
+        in->nextPc = er.nextPc;
+        in->memAddr = er.memAddr;
+        in->isHalt = er.halted;
+        in->fetchTime = groupReady;
+
+        Opcode op = er.inst.op;
+        if (isBranch(op)) {
+            BpredLookup look = predictor.predictBranch(er.pc);
+            in->predictedTaken = look.taken;
+            bool correct;
+            if (er.taken) {
+                correct = look.taken && look.btbHit &&
+                    look.target == er.nextPc;
+            } else {
+                correct = !look.taken;
+            }
+            in->mispredicted = !correct;
+            predictor.update(er.pc, er.taken, er.nextPc, look.taken,
+                             true);
+        } else if (op == Opcode::JALR) {
+            BpredLookup look = predictor.predictIndirect(er.pc);
+            in->predictedTaken = true;
+            in->mispredicted = !(look.btbHit && look.target == er.nextPc);
+            predictor.update(er.pc, true, er.nextPc, true, false);
+        }
+        // JAL: target computed in the decoder; never a misprediction.
+
+        fetchQueue.push_back(in);
+        ++fetched;
+        ++s.stat.fetched;
+
+        if (er.halted) {
+            haltFetched = true;
+            break;
+        }
+        if (in->mispredicted) {
+            stallBranch = in;
+            wrongPathChargeLeft =
+                s.cfg.fetchQueueSize / s.cfg.decodeWidth + 2;
+            break;
+        }
+        if (er.taken)
+            break;  // redirect: next group starts at the target
+    }
+}
+
+void
+FrontEndUnit::recordTrace(const DynInst *in)
+{
+    if (!s.tracer || !s.tracer->isEnabled())
+        return;
+    InstTrace t;
+    t.seq = in->seq;
+    t.op = in->inst.op;
+    t.fu = fuClass(in->inst.op);
+    t.dep1 = in->src1Producer;
+    t.dep2 = in->src2Producer;
+    t.mispredicted = in->mispredicted;
+    t.fetchTime = in->fetchTime;
+    t.dispatchTime = in->dispatchTime;
+    t.issueTime = in->issueTime;
+    t.execDone = in->execDoneTime;
+    t.memIssue = in->memIssueTime;
+    t.memDone = in->memDoneTime;
+    t.memFixed = in->memFixedLat;
+    t.commitTime = in->commitTime;
+    s.tracer->record(t);
+}
+
+} // namespace mcd

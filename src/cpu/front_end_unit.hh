@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Front-end domain unit: fetch, branch prediction, rename, dispatch,
+ * ROB, and commit (paper Section 2, Table 1).
+ *
+ * Fetches the architecturally correct path from the functional
+ * oracle; on a misprediction, fetch stalls until the branch resolves
+ * in its back-end domain, pays the inter-domain synchronization delay
+ * on the resolution signal, then a 7-cycle refill penalty (wrong-path
+ * fetch activity is charged to the front-end power model during the
+ * stall). Work leaves this unit only through the dispatch ports
+ * (issue queues, LSQ) and returns through the credit channels and the
+ * completion gate — every crossing synchronized and counted at the
+ * port.
+ */
+
+#ifndef MCD_CPU_FRONT_END_UNIT_HH
+#define MCD_CPU_FRONT_END_UNIT_HH
+
+#include <deque>
+
+#include "cpu/bpred.hh"
+#include "cpu/core_shared.hh"
+
+namespace mcd {
+
+class FrontEndUnit
+{
+  public:
+    FrontEndUnit(CoreShared &shared, DomainPorts &ports)
+        : s(shared), p(ports), predictor(shared.cfg.bpred),
+          lsqFree(shared.cfg.lsqSize)
+    {}
+
+    /** One front-end cycle at edge time @p now. */
+    void
+    tick(Tick now)
+    {
+        commitStage(now);
+        renameDispatchStage(now);
+        fetchStage(now);
+    }
+
+    const BranchPredictor &bpred() const { return predictor; }
+
+    /** ROB occupancy (the front end's primary queue). */
+    std::size_t robLength() const { return rob.size(); }
+
+  private:
+    void commitStage(Tick now);
+    void renameDispatchStage(Tick now);
+    void fetchStage(Tick now);
+    bool dispatchOne(DynInst *in, Tick now);
+    void recordTrace(const DynInst *in);
+
+    CoreShared &s;
+    DomainPorts &p;
+
+    BranchPredictor predictor;
+    std::deque<DynInst *> fetchQueue;
+    std::deque<DynInst *> rob;
+    int lsqFree;
+
+    // Fetch state.
+    bool haltFetched = false;
+    Tick fetchReadyTime = 0;    //!< earliest next fetch (I-miss, redirect)
+    DynInst *stallBranch = nullptr;
+    int redirectPenaltyLeft = 0;
+    int wrongPathChargeLeft = 0;    //!< stall cycles that still fetch
+};
+
+} // namespace mcd
+
+#endif // MCD_CPU_FRONT_END_UNIT_HH

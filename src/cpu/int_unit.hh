@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Integer domain unit: 20-entry issue queue, 4 ALUs + mul/div unit.
+ * Also executes memory address generation (21264-style AGUs).
+ *
+ * Consumes dispatched work from the intIq SyncPort (front end ->
+ * integer), reads operands over the cross-domain result bus, and
+ * returns issue-queue credits to the front end through the
+ * synchronized credit channel.
+ */
+
+#ifndef MCD_CPU_INT_UNIT_HH
+#define MCD_CPU_INT_UNIT_HH
+
+#include "cpu/core_shared.hh"
+#include "cpu/fu_pool.hh"
+
+namespace mcd {
+
+class IntUnit
+{
+  public:
+    IntUnit(CoreShared &shared, DomainPorts &ports)
+        : s(shared), p(ports),
+          aluPool(shared.cfg.intAlus, true),
+          mulDivPool(shared.cfg.intMulDivs, false)
+    {}
+
+    /** One integer-domain cycle at edge time @p now. */
+    void tick(Tick now);
+
+    std::size_t queueLength() const { return p.intIq.size(); }
+
+  private:
+    CoreShared &s;
+    DomainPorts &p;
+
+    FuPool aluPool;
+    FuPool mulDivPool;
+};
+
+} // namespace mcd
+
+#endif // MCD_CPU_INT_UNIT_HH

@@ -1,0 +1,86 @@
+#include "ls_unit.hh"
+
+namespace mcd {
+
+void
+LsUnit::tick(Tick now)
+{
+    int portsUsed = 0;
+
+    for (std::size_t i = 0; i < p.lsq.size(); ++i) {
+        if (portsUsed >= s.cfg.memPorts)
+            break;
+        DynInst *in = p.lsq[i].value;
+        if (in->memIssued)
+            continue;
+        if (!p.lsq.probe(p.lsq[i], now))
+            break;  // later entries were written even later
+
+        // The generated address crosses from the integer domain.
+        if (!p.addr.probe(in->issued, in->execDoneTime, now))
+            continue;
+
+        if (in->isStoreOp()) {
+            // Stores need their data before writing the cache.
+            if (!p.results.ready(in->src2Phys, in->src2Fp,
+                                 Domain::LoadStore, now)) {
+                continue;
+            }
+            MemAccessResult r =
+                s.mem.dataAccess(in->memAddr & ~7ULL, true, now);
+            in->memIssued = true;
+            in->memIssueTime = now;
+            in->memDoneTime = r.ready;
+            in->memFixedLat = r.dramTime;
+            in->memDone = true;
+            s.chargePower(Unit::Dcache);
+            if (r.l2Accessed)
+                s.chargePower(Unit::L2);
+            ++portsUsed;
+            continue;
+        }
+
+        // Load: SimpleScalar-style perfect disambiguation -- only an
+        // older store to the same word blocks (or forwards to) the
+        // load; stores with unknown addresses do not.
+        bool blocked = false;
+        bool forwarded = false;
+        for (std::size_t j = 0; j < i; ++j) {
+            DynInst *st = p.lsq[j].value;
+            if (!st->isStoreOp())
+                continue;
+            if ((st->memAddr & ~7ULL) == (in->memAddr & ~7ULL)) {
+                if (st->memIssued) {
+                    forwarded = true;   // store buffer forwarding
+                } else {
+                    blocked = true;     // wait for the store's data
+                    break;
+                }
+            }
+        }
+        if (blocked)
+            continue;
+
+        in->memIssued = true;
+        in->memIssueTime = now;
+        if (forwarded) {
+            const double period =
+                s.clk[domainIndex(Domain::LoadStore)]->period();
+            in->memDoneTime = now + static_cast<Tick>(0.5 * period);
+            s.chargePower(Unit::Lsq);
+        } else {
+            MemAccessResult r =
+                s.mem.dataAccess(in->memAddr & ~7ULL, false, now);
+            in->memDoneTime = r.ready;
+            in->memFixedLat = r.dramTime;
+            s.chargePower(Unit::Dcache);
+            if (r.l2Accessed)
+                s.chargePower(Unit::L2);
+        }
+        in->memDone = true;
+        s.produceResult(in, in->memDoneTime, Domain::LoadStore);
+        ++portsUsed;
+    }
+}
+
+} // namespace mcd

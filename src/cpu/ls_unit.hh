@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Load/store domain unit: 64-entry LSQ, 2 cache ports, L1D + L2.
+ *
+ * Consumes LSQ entries through the lsq SyncPort (front end -> LS),
+ * waits for generated addresses on the addr SyncSignal (integer ->
+ * LS), reads store data over the cross-domain result bus, and models
+ * SimpleScalar-style perfect disambiguation with store-buffer
+ * forwarding.
+ */
+
+#ifndef MCD_CPU_LS_UNIT_HH
+#define MCD_CPU_LS_UNIT_HH
+
+#include "cpu/core_shared.hh"
+
+namespace mcd {
+
+class LsUnit
+{
+  public:
+    LsUnit(CoreShared &shared, DomainPorts &ports) : s(shared), p(ports) {}
+
+    /** One load/store-domain cycle at edge time @p now. */
+    void tick(Tick now);
+
+    std::size_t queueLength() const { return p.lsq.size(); }
+
+  private:
+    CoreShared &s;
+    DomainPorts &p;
+};
+
+} // namespace mcd
+
+#endif // MCD_CPU_LS_UNIT_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the time-weighted frequency accumulator shared by the run
+ * loop's per-domain bookkeeping and the telemetry sampler series
+ * (obs/freq_accum.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/freq_accum.hh"
+
+namespace mcd {
+namespace {
+
+using obs::FreqAccumulator;
+
+TEST(FreqAccumulator, SingleEdgeHasNoSpan)
+{
+    FreqAccumulator a(1000, 1e9);
+    EXPECT_EQ(a.span(), 0u);
+    EXPECT_DOUBLE_EQ(a.average(), 1e9);    // falls back to current f
+    EXPECT_DOUBLE_EQ(a.minimum(), 1e9);
+    EXPECT_DOUBLE_EQ(a.maximum(), 1e9);
+}
+
+TEST(FreqAccumulator, ConstantFrequencyAveragesToItself)
+{
+    FreqAccumulator a(0, 1e9);
+    for (Tick t = 1000; t <= 10000; t += 1000)
+        a.edge(t, 1e9);
+    EXPECT_EQ(a.span(), 10000u);
+    EXPECT_DOUBLE_EQ(a.average(), 1e9);
+    EXPECT_EQ(a.firstEdge(), 0u);
+    EXPECT_EQ(a.lastEdge(), 10000u);
+}
+
+TEST(FreqAccumulator, TimeWeightedMean)
+{
+    // 1 GHz for 3000 ps, then 500 MHz for 1000 ps:
+    // (1e9*3000 + 0.5e9*1000) / 4000 = 875 MHz.
+    FreqAccumulator a(0, 1e9);
+    a.edge(3000, 1e9);
+    a.edge(4000, 0.5e9);
+    EXPECT_DOUBLE_EQ(a.average(), 875e6);
+    EXPECT_DOUBLE_EQ(a.minimum(), 0.5e9);
+    EXPECT_DOUBLE_EQ(a.maximum(), 1e9);
+}
+
+TEST(FreqAccumulator, WeightsIntervalWithEdgeFrequency)
+{
+    // The edge's frequency weights the interval ENDING at that edge
+    // (the frequency in force after the previous edge's DVFS
+    // service): switching to 2 GHz at t=1000 means [0,1000] is still
+    // 2 GHz-weighted only if the edge reports 2e9.
+    FreqAccumulator a(0, 1e9);
+    a.edge(1000, 2e9);
+    EXPECT_DOUBLE_EQ(a.average(), 2e9);
+}
+
+TEST(FreqAccumulator, FromSeriesMatchesEdgeAccumulation)
+{
+    // The sampler's trace series and the run loop's edge stream must
+    // agree through one definition of "average frequency".
+    std::vector<FreqTracePoint> series = {
+        {2000, 0.8e9},
+        {5000, 1.2e9},
+    };
+    FreqAccumulator fromSeries =
+        FreqAccumulator::fromSeries(1e9, series, 0, 8000);
+
+    FreqAccumulator edges(0, 1e9);
+    edges.edge(2000, 1e9);      // [0,2000] at the initial 1 GHz
+    edges.edge(5000, 0.8e9);    // [2000,5000] at 0.8 GHz
+    edges.edge(8000, 1.2e9);    // [5000,8000] at 1.2 GHz
+
+    EXPECT_DOUBLE_EQ(fromSeries.average(), edges.average());
+    EXPECT_DOUBLE_EQ(fromSeries.minimum(), 0.8e9);
+    EXPECT_DOUBLE_EQ(fromSeries.maximum(), 1.2e9);
+    EXPECT_EQ(fromSeries.span(), 8000u);
+}
+
+TEST(FreqAccumulator, FromSeriesClampsOutsideWindow)
+{
+    std::vector<FreqTracePoint> series = {
+        {100, 2e9},     // before the window: becomes the initial f
+        {4000, 1e9},
+        {9000, 3e9},    // past the window end: clamped to end
+    };
+    FreqAccumulator a = FreqAccumulator::fromSeries(1e9, series, 1000, 6000);
+    // [1000,4000] at 2 GHz, [4000,6000] at 1 GHz.
+    EXPECT_DOUBLE_EQ(a.average(), (2e9 * 3000 + 1e9 * 2000) / 5000.0);
+    EXPECT_EQ(a.lastEdge(), 6000u);
+    // The 3 GHz point still registers in the min/max envelope.
+    EXPECT_DOUBLE_EQ(a.maximum(), 3e9);
+    EXPECT_DOUBLE_EQ(a.minimum(), 1e9);
+}
+
+TEST(FreqAccumulator, FromSeriesEmptySeriesIsConstant)
+{
+    FreqAccumulator a = FreqAccumulator::fromSeries(1e9, {}, 500, 1500);
+    EXPECT_DOUBLE_EQ(a.average(), 1e9);
+    EXPECT_EQ(a.span(), 1000u);
+}
+
+} // namespace
+} // namespace mcd

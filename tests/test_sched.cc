@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the deterministic discrete-event scheduler driving the
+ * run loop (core/sched.hh): total event ordering independent of
+ * insertion order, re-arming via fire(), and the arm/defer hop
+ * pattern the monitor actors use.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/sched.hh"
+
+namespace mcd {
+namespace {
+
+/** Records its firings into a shared log and replays a schedule. */
+struct LogActor final : Actor
+{
+    std::string name;
+    std::vector<std::string> *log = nullptr;
+    std::vector<Tick> replies;  //!< consumed front-to-back by fire()
+
+    LogActor() = default;
+    LogActor(std::string n, std::vector<std::string> *l)
+        : name(std::move(n)), log(l)
+    {}
+
+    Tick
+    fire(Tick now) override
+    {
+        log->push_back(name + "@" + std::to_string(now));
+        if (replies.empty())
+            return never;
+        Tick next = replies.front();
+        replies.erase(replies.begin());
+        return next;
+    }
+};
+
+TEST(EventScheduler, PopsInTickOrder)
+{
+    EventScheduler sched;
+    std::vector<std::string> log;
+    LogActor a{"a", &log}, b{"b", &log}, c{"c", &log};
+
+    sched.schedule(&b, 200, 0);
+    sched.schedule(&c, 300, 0);
+    sched.schedule(&a, 100, 0);
+
+    while (sched.runOne()) {}
+    EXPECT_EQ(log, (std::vector<std::string>{"a@100", "b@200", "c@300"}));
+}
+
+TEST(EventScheduler, TieBreaksOnPriorityThenSeq)
+{
+    // Same tick: priority decides; same priority: insertion order
+    // decides — so the pop order is a total order and results cannot
+    // depend on how the heap happened to be built.
+    EventScheduler sched;
+    std::vector<std::string> log;
+    LogActor lo{"lo", &log}, hi{"hi", &log};
+    LogActor s1{"s1", &log}, s2{"s2", &log};
+
+    sched.schedule(&lo, 500, 4);
+    sched.schedule(&hi, 500, -1);
+    sched.schedule(&s1, 500, 2);
+    sched.schedule(&s2, 500, 2);    // same (tick, priority): FIFO
+
+    while (sched.runOne()) {}
+    EXPECT_EQ(log, (std::vector<std::string>{
+        "hi@500", "s1@500", "s2@500", "lo@500"}));
+}
+
+TEST(EventScheduler, InsertionOrderInvariance)
+{
+    // Any permutation of schedule() calls yields the same pop order
+    // (distinct priorities make the order unique).
+    struct Item { Tick t; int pri; const char *n; };
+    std::vector<Item> items = {
+        {100, 0, "e0"}, {100, 1, "m0"}, {100, 2, "e1"},
+        {250, 0, "e2"}, {250, -1, "arm"},
+    };
+    std::vector<std::string> want;
+    std::vector<std::vector<int>> perms = {
+        {0, 1, 2, 3, 4}, {4, 3, 2, 1, 0}, {2, 4, 0, 3, 1}};
+
+    for (const auto &perm : perms) {
+        EventScheduler sched;
+        std::vector<std::string> log;
+        std::vector<LogActor> actors(items.size());
+        for (int i : perm) {
+            actors[i].name = items[i].n;
+            actors[i].log = &log;
+            sched.schedule(&actors[i], items[i].t, items[i].pri);
+        }
+        while (sched.runOne()) {}
+        if (want.empty())
+            want = log;
+        EXPECT_EQ(log, want);
+    }
+    EXPECT_EQ(want, (std::vector<std::string>{
+        "e0@100", "m0@100", "e1@100", "arm@250", "e2@250"}));
+}
+
+TEST(EventScheduler, FireReturnReArmsAtSamePriority)
+{
+    EventScheduler sched;
+    std::vector<std::string> log;
+    LogActor a{"a", &log};
+    a.replies = {200, 300};     // two re-arms, then done
+
+    sched.schedule(&a, 100, 3);
+    while (sched.runOne()) {}
+    EXPECT_EQ(log, (std::vector<std::string>{"a@100", "a@200", "a@300"}));
+    EXPECT_TRUE(sched.empty());
+}
+
+TEST(EventScheduler, NeverIsNoOp)
+{
+    EventScheduler sched;
+    std::vector<std::string> log;
+    LogActor a{"a", &log};
+    sched.schedule(&a, Actor::never, 0);
+    EXPECT_TRUE(sched.empty());
+    EXPECT_FALSE(sched.runOne());
+}
+
+/** Arm/defer monitor: hops itself onto a later (tick, pri) slot. */
+struct HopActor final : Actor
+{
+    EventScheduler *sched = nullptr;
+    std::vector<std::string> *log = nullptr;
+    Tick hopTick = 0;
+    int hopPri = 0;
+    bool deferred = false;
+
+    Tick
+    fire(Tick now) override
+    {
+        if (!deferred) {
+            deferred = true;
+            log->push_back("arm@" + std::to_string(now));
+            sched->schedule(this, hopTick, hopPri);
+            return never;
+        }
+        log->push_back("work@" + std::to_string(now));
+        return never;
+    }
+};
+
+TEST(EventScheduler, ScheduleFromFireIsSafe)
+{
+    // The monitor pattern: fire() re-enters schedule() while runOne()
+    // is mid-flight; the freshly scheduled event must land in its
+    // correct slot (after the same-tick edge, before later edges).
+    EventScheduler sched;
+    std::vector<std::string> log;
+    LogActor edge1{"edge1", &log}, edge2{"edge2", &log};
+    HopActor mon;
+    mon.sched = &sched;
+    mon.log = &log;
+    mon.hopTick = 400;
+    mon.hopPri = EventScheduler::afterEdgePriority(0);
+
+    sched.schedule(&edge1, 400, EventScheduler::edgePriority(0));
+    sched.schedule(&edge2, 400, EventScheduler::edgePriority(1));
+    sched.schedule(&mon, 350, EventScheduler::armPriority);
+
+    while (sched.runOne()) {}
+    EXPECT_EQ(log, (std::vector<std::string>{
+        "arm@350", "edge1@400", "work@400", "edge2@400"}));
+}
+
+TEST(EventScheduler, CurrentAndNextAccessors)
+{
+    EventScheduler sched;
+    std::vector<std::string> log;
+    LogActor a{"a", &log}, b{"b", &log};
+    sched.schedule(&a, 100, 2);
+    sched.schedule(&b, 100, 3);
+
+    EXPECT_EQ(sched.nextTick(), 100u);
+    EXPECT_EQ(sched.nextPriority(), 2);
+    ASSERT_TRUE(sched.runOne());
+    EXPECT_EQ(sched.currentTick(), 100u);
+    EXPECT_EQ(sched.currentPriority(), 2);
+    EXPECT_EQ(sched.nextPriority(), 3);
+}
+
+TEST(EventScheduler, PriorityBandHelpers)
+{
+    // Band layout: arm < edge(d) < afterEdge(d) < edge(d+1).
+    EXPECT_LT(EventScheduler::armPriority, EventScheduler::edgePriority(0));
+    for (int d = 0; d < 3; ++d) {
+        EXPECT_LT(EventScheduler::edgePriority(d),
+                  EventScheduler::afterEdgePriority(d));
+        EXPECT_LT(EventScheduler::afterEdgePriority(d),
+                  EventScheduler::edgePriority(d + 1));
+    }
+}
+
+} // namespace
+} // namespace mcd
