@@ -49,8 +49,30 @@ configFromEnv(DvfsKind model = DvfsKind::XScale)
         ec.watchdogMaxTicks = std::strtoull(t, nullptr, 10);
     if (const char *a = std::getenv("MCD_LEG_ATTEMPTS"))
         ec.legAttempts = std::max(1, std::atoi(a));
+    // MCD_SAMPLING=detailed=N,ff=N,warmup=N[,tol=F] turns on sampled
+    // simulation (runMatrix would apply this too via effectiveConfig;
+    // parsing here keeps the knob visible in the returned config).
+    if (const char *smp = std::getenv("MCD_SAMPLING"); smp && *smp)
+        ec.sampling = SamplingParams::fromSpec(smp);
     return ec;
 }
+
+#ifdef BENCHMARK_BENCHMARK_H_
+/**
+ * Shared aggregation settings for the perf-gated kernel
+ * microbenchmarks (micro_speed's BM_TimingSimulation /
+ * BM_FunctionalExecution / BM_SampledSimulation): a fixed repetition
+ * count with median-only reporting, so CI's A/B gate always compares
+ * the same statistic at the same sample size on both sides.
+ */
+inline void
+kernelBenchDefaults(benchmark::internal::Benchmark *b)
+{
+    b->Repetitions(5);
+    b->ReportAggregatesOnly(true);
+    b->Unit(benchmark::kMillisecond);
+}
+#endif
 
 /**
  * Benchmark list for a matrix run: all 16 workloads, or the

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hh"
+
 #include "analysis/analyzer.hh"
 #include "common/thread_pool.hh"
 #include "core/experiment.hh"
@@ -34,7 +36,8 @@ BM_FunctionalExecution(benchmark::State &state)
     state.counters["inst/s"] = benchmark::Counter(
         static_cast<double>(insts), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_FunctionalExecution)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FunctionalExecution)
+    ->Apply(benchutil::kernelBenchDefaults);
 
 void
 BM_TimingSimulation(benchmark::State &state)
@@ -52,7 +55,33 @@ BM_TimingSimulation(benchmark::State &state)
     state.counters["inst/s"] = benchmark::Counter(
         static_cast<double>(insts), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_TimingSimulation)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TimingSimulation)
+    ->Apply(benchutil::kernelBenchDefaults);
+
+/**
+ * The same 50K-instruction timing run under the default-flavored
+ * sampling operating point (10% detailed): the CI gate tracks the
+ * sampled kernel's speed alongside the full-detail one.
+ */
+void
+BM_SampledSimulation(benchmark::State &state)
+{
+    Program p = workloads::build("g721", 1);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        SimConfig cfg;
+        cfg.clocking = ClockingStyle::Mcd;
+        cfg.maxInstructions = 50000;
+        cfg.sampling = SamplingParams{1000, 9000, 250};
+        McdProcessor proc(cfg, p);
+        RunResult r = proc.run();
+        insts += r.committed;
+    }
+    state.counters["inst/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SampledSimulation)
+    ->Apply(benchutil::kernelBenchDefaults);
 
 void
 BM_CacheAccess(benchmark::State &state)

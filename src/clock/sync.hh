@@ -20,9 +20,9 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "common/ring_buffer.hh"
 #include "common/types.hh"
 
 namespace mcd {
@@ -123,8 +123,8 @@ class SyncChannel
     visibleCount(Tick edge) const
     {
         std::size_t n = 0;
-        for (const auto &e : entries) {
-            if (!rule.visible(e.wrote, edge))
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            if (!rule.visible(entries[i].wrote, edge))
                 break;
             ++n;
         }
@@ -146,7 +146,7 @@ class SyncChannel
     };
 
     SyncRule rule;
-    std::deque<Entry> entries;
+    RingDeque<Entry> entries;
 };
 
 /**
@@ -182,6 +182,12 @@ class SyncPort
 
     /** Producer side: enqueue @p value at producer edge @p wrote. */
     void push(T value, Tick wrote) { q.push_back({value, wrote}); }
+
+    /** Pre-size the backing container (bounded hardware queues). */
+    void reserve(std::size_t n) { q.reserve(n); }
+
+    /** Backing-container reallocations (RingDeque-backed ports). */
+    std::uint64_t containerGrows() const { return q.grows(); }
 
     std::size_t size() const { return q.size(); }
     bool empty() const { return q.empty(); }
@@ -332,6 +338,12 @@ class CreditReturnChannel
 
     void setRule(SyncRule rule_) { rule = rule_; }
 
+    /** Pre-size the in-flight ring (at most initial_credits deep). */
+    void reserve(std::size_t n) { inFlight.reserve(n); }
+
+    /** In-flight ring reallocations (0 when reserved correctly). */
+    std::uint64_t grows() const { return inFlight.grows(); }
+
     /** Credits usable by the producer at its edge @p edge. */
     int
     credits(Tick edge)
@@ -366,7 +378,7 @@ class CreditReturnChannel
 
     SyncRule rule;
     int available;
-    std::deque<Tick> inFlight;
+    RingDeque<Tick> inFlight;
 };
 
 } // namespace mcd

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * RingDeque: a contiguous circular buffer with deque-style ends.
+ *
+ * The simulator's hot queues (fetch queue, ROB, LSQ port, credit
+ * returns) are strict FIFOs with small, bounded steady-state sizes;
+ * std::deque serves them correctly but pays block allocation and
+ * pointer-chasing per block boundary on every push/pop cycle. A
+ * RingDeque keeps the live span in one pre-sized contiguous array and
+ * recycles slots in place, so the steady state allocates nothing and
+ * indexed scans walk a single cache-resident block. Growth (doubling)
+ * happens only when a reservation was undersized, and is counted so
+ * the stats registry can prove the pre-sizing holds
+ * (pipeline.ports.ring_grows).
+ *
+ * Element pointers are NOT stable across growth; the pipeline stores
+ * DynInst pointers (whose pointees live in the InstWindow arena), so
+ * only the queue cells themselves move.
+ */
+
+#ifndef MCD_COMMON_RING_BUFFER_HH
+#define MCD_COMMON_RING_BUFFER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mcd {
+
+template <typename T>
+class RingDeque
+{
+  public:
+    RingDeque() = default;
+
+    explicit RingDeque(std::size_t capacity) { reserve(capacity); }
+
+    /** Ensure capacity for @p n elements without counting a growth. */
+    void
+    reserve(std::size_t n)
+    {
+        if (n > slots.size())
+            rebase(n);
+    }
+
+    void
+    push_back(T v)
+    {
+        if (count == slots.size()) {
+            rebase(slots.size() ? slots.size() * 2 : 8);
+            ++growCount;
+        }
+        slots[index(count)] = std::move(v);
+        ++count;
+    }
+
+    void
+    pop_front()
+    {
+        head = index(1);
+        --count;
+        if (!count)
+            head = 0;   // empty: rewind so refills start contiguous
+    }
+
+    T &front() { return slots[head]; }
+    const T &front() const { return slots[head]; }
+
+    T &back() { return slots[index(count - 1)]; }
+    const T &back() const { return slots[index(count - 1)]; }
+
+    T &operator[](std::size_t i) { return slots[index(i)]; }
+    const T &operator[](std::size_t i) const { return slots[index(i)]; }
+
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    std::size_t capacity() const { return slots.size(); }
+
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+    /** Reallocations forced by an undersized reservation. */
+    std::uint64_t grows() const { return growCount; }
+
+  private:
+    std::size_t
+    index(std::size_t i) const
+    {
+        std::size_t j = head + i;
+        return j >= slots.size() ? j - slots.size() : j;
+    }
+
+    /** Re-lay the live span contiguously into @p n slots. */
+    void
+    rebase(std::size_t n)
+    {
+        std::vector<T> next(n);
+        for (std::size_t i = 0; i < count; ++i)
+            next[i] = std::move(slots[index(i)]);
+        slots = std::move(next);
+        head = 0;
+    }
+
+    std::vector<T> slots;
+    std::size_t head = 0;
+    std::size_t count = 0;
+    std::uint64_t growCount = 0;
+};
+
+} // namespace mcd
+
+#endif // MCD_COMMON_RING_BUFFER_HH

@@ -215,6 +215,19 @@ jsonRun(std::ostream &os, const char *indent, const RunResult &r)
            << ", \"reconfigurations\": " << s.reconfigurations << "}";
     }
     os << "]";
+    if (r.sampling) {
+        const SamplingSummary &ss = *r.sampling;
+        os << ",\n" << indent << "  \"sampling\": {"
+           << "\"windows\": " << ss.windows
+           << ", \"detailedCommitted\": " << ss.detailedCommitted
+           << ", \"ffExecuted\": " << ss.ffExecuted
+           << ", \"estFfTimePs\": " << ss.estFfTimePs
+           << ", \"estFfEnergy\": " << ss.estFfEnergy
+           << ", \"haltDuringFf\": "
+           << (ss.haltDuringFf ? "true" : "false")
+           << ", \"timePerInstCv\": " << ss.timePerInstCv
+           << ", \"energyPerInstCv\": " << ss.energyPerInstCv << "}";
+    }
     if (r.telemetry) {
         os << ",\n" << indent << "  \"stats\": ";
         std::string inner = std::string(indent) + "  ";
@@ -269,6 +282,8 @@ ExperimentConfig::validate() const
         fatal("ExperimentConfig: legAttempts must be >= 1");
     if (online.interval == 0)
         fatal("ExperimentConfig: online.interval must be > 0");
+    if (sampling)
+        sampling->validate();
 }
 
 void
@@ -284,8 +299,12 @@ writeResultsJson(std::ostream &os, const ExperimentConfig &cfg,
        << "    \"dilationLow\": " << cfg.dilationLow << ",\n"
        << "    \"dilationHigh\": " << cfg.dilationHigh << ",\n"
        << "    \"onlineIntervalPs\": " << cfg.online.interval << ",\n"
-       << "    \"seed\": " << cfg.seed << "\n"
-       << "  },\n"
+       << "    \"seed\": " << cfg.seed;
+    // Sampled matrices are clearly labeled; a full-detail document
+    // stays byte-identical to pre-sampling builds.
+    if (cfg.sampling)
+        os << ",\n    \"sampling\": \"" << cfg.sampling->spec() << "\"";
+    os << "\n  },\n"
        << "  \"benchmarks\": [";
     bool firstRow = true;
     for (const BenchmarkResults &r : rows) {
@@ -431,6 +450,7 @@ ExperimentRunner::makeSimConfig(ClockingStyle style,
     sc.telemetry = config.telemetry;
     sc.watchdogNoProgressEdges = config.watchdogNoProgressEdges;
     sc.watchdogMaxTicks = config.watchdogMaxTicks;
+    sc.sampling = config.sampling;
     sc.faults = config.faults.get();
     sc.faultSite = site;
     return sc;
@@ -462,7 +482,14 @@ ExperimentRunner::cacheKey(const std::string &name) const
                   oq.idleDecayPoints, oq.highWater, oq.holdWater,
                   oq.idleWater, oq.scaleFrontEnd ? 1 : 0,
                   static_cast<unsigned long long>(config.seed));
-    return buf;
+    std::string key = buf;
+    // Sampled matrices are never cached (see loadCache/storeCache),
+    // but fold the operating point into the key anyway so a sampled
+    // and a full-detail matrix can never collide even if the bypass
+    // rule changes.
+    if (config.sampling)
+        key += "-smp" + config.sampling->keyToken();
+    return key;
 }
 
 std::string
@@ -480,6 +507,10 @@ ExperimentRunner::loadCache(const std::string &name) const
     // matrix must actually run (storing is still fine: telemetry does
     // not perturb the simulation, so the records stay valid).
     if (config.telemetry.enabled())
+        return std::nullopt;
+    // Sampled results are estimates with a stated error bound; the
+    // cache stores exact full-detail numbers only.
+    if (config.sampling)
         return std::nullopt;
     // A benchmark with armed leg faults must actually run, or the
     // cache would mask the injection.
@@ -536,6 +567,8 @@ ExperimentRunner::storeCache(const BenchmarkResults &r) const
     // injected matrices byte-identical to uncached ones).
     if (r.anyFailed())
         return;
+    if (config.sampling)
+        return;     // estimates never enter the exact-result cache
     if (config.faults && config.faults->legFaultsFor(r.name))
         return;
     std::string path = cachePath(r.name);
@@ -574,6 +607,9 @@ ExperimentRunner::profileLeg(const Program &prog,
     // profiling run for the offline tool.
     SimConfig profCfg = makeSimConfig(ClockingStyle::Mcd, site);
     profCfg.collectTrace = true;
+    // The offline tool needs every instruction's timestamps: the
+    // profiling run always executes in full detail.
+    profCfg.sampling.reset();
     McdProcessor prof(profCfg, prog);
     RunResult r = prof.run();
     trace_out = prof.takeTrace();
@@ -911,6 +947,10 @@ effectiveConfig(const ExperimentConfig &cfg)
     if (!e.telemetry.enabled() &&
         (set("MCD_TRACE_OUT") || set("MCD_STATS_OUT"))) {
         e.telemetry = obs::TelemetryConfig::full();
+    }
+    if (!e.sampling) {
+        if (const char *v = std::getenv("MCD_SAMPLING"); v && *v)
+            e.sampling = SamplingParams::fromSpec(v);
     }
     if (!e.faults)
         e.faults = fault::FaultPlan::fromEnv();

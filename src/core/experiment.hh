@@ -68,6 +68,18 @@ struct ExperimentConfig
      */
     obs::TelemetryConfig telemetry;
 
+    /**
+     * SMARTS-style sampled simulation (core/sampling.hh) for every
+     * timing leg except the profiling run, which always runs in full
+     * detail (the offline analyzer needs every instruction's trace
+     * record). runMatrix() fills this from MCD_SAMPLING when unset.
+     * Sampled rows are approximations: they are never written to or
+     * served from the result cache, and the operating point is folded
+     * into the cache key besides, so a sampled matrix can never alias
+     * a full-detail one.
+     */
+    std::optional<SamplingParams> sampling;
+
     /** Attack/decay parameters for the online-control column. */
     OnlineQueueParams online;
 

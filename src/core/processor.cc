@@ -68,6 +68,12 @@ McdProcessor::McdProcessor(const SimConfig &config, const Program &program)
         cfg.core, oracle, *memory, clocks, cfg.syncFraction,
         power.get(), &collector, cfg.maxInstructions);
 
+    if (cfg.sampling) {
+        samplingPolicy = std::make_unique<SamplingPolicy>(*cfg.sampling,
+                                                          power.get());
+        pipe->bindSampling(samplingPolicy.get());
+    }
+
     // Telemetry context: the Figure 8 trace now reads the sampler's
     // frequency series, so recordFreqTrace forces that channel on even
     // when the caller's TelemetryConfig is all-off.
@@ -320,6 +326,9 @@ McdProcessor::run()
     // one (tick, priority) resolve by insertion order exactly as the
     // legacy [edge; sample; budget] iteration did.
     sched.clear();
+    // The actor population is fixed: one edge actor per clock plus
+    // the two monitors. Pre-sizing keeps the heap allocation-free.
+    sched.reserve(numDomains + 2);
     if (mcd) {
         for (int d = 0; d < numDomains; ++d) {
             edgeActors[d].p = this;
@@ -403,6 +412,21 @@ McdProcessor::run()
         }
     }
 
+    if (samplingPolicy) {
+        // Fold the extrapolated fast-forward contribution in. IPC is
+        // left as the *measured* detailed-mode value (commits per
+        // front-end cycle actually simulated); time, energy, and the
+        // instruction count cover the whole dynamic stream.
+        SamplingSummary ss = samplingPolicy->summary(r.committed);
+        r.sampling = ss;
+        r.committed += ss.ffExecuted;
+        r.execTime += ss.estFfTimePs;
+        r.totalEnergy += ss.estFfEnergy;
+        for (int d = 0; d < numDomains; ++d)
+            r.domains[d].energy += ss.estFfEnergyDomain[d];
+        r.energyDelay = r.totalEnergy * toSeconds(r.execTime);
+    }
+
     if (telem) {
         publishSummaryStats(r);
         r.telemetry = telem;
@@ -464,6 +488,46 @@ McdProcessor::publishSummaryStats(const RunResult &r)
     reg.counter("pipeline.sync.addr_waits",
                 "LSQ waits on an address from the integer domain")
         .inc(ps.syncAddrWaits);
+
+    // Memory-layout proof points: the pre-sized structures must not
+    // touch the allocator in steady state (grows == 0) and the window
+    // arena must bound the in-flight count.
+    reg.gauge("pipeline.window.peak",
+              "in-flight instruction high-water mark")
+        .set(static_cast<double>(pipe->windowHighWater()));
+    reg.gauge("pipeline.window.capacity",
+              "instruction-window arena slots")
+        .set(static_cast<double>(pipe->windowCapacity()));
+    reg.counter("pipeline.ports.ring_grows",
+                "ring reallocations forced by undersized reservations")
+        .inc(pipe->ringGrows());
+    reg.gauge("sched.heap.peak", "event-heap high-water mark")
+        .set(static_cast<double>(sched.peakSize()));
+
+    if (r.sampling) {
+        const SamplingSummary &ss = *r.sampling;
+        reg.counter("run.sampling.windows",
+                    "completed detailed measurement windows")
+            .inc(ss.windows);
+        reg.counter("run.sampling.detailed_committed",
+                    "instructions committed in detail")
+            .inc(ss.detailedCommitted);
+        reg.counter("run.sampling.ff_executed",
+                    "instructions fast-forwarded functionally")
+            .inc(ss.ffExecuted);
+        reg.gauge("run.sampling.est_ff_time_ps",
+                  "extrapolated fast-forward time")
+            .set(static_cast<double>(ss.estFfTimePs));
+        reg.gauge("run.sampling.est_ff_energy_j",
+                  "extrapolated fast-forward energy")
+            .set(ss.estFfEnergy);
+        reg.gauge("run.sampling.time_per_inst_cv",
+                  "window time-per-inst coefficient of variation")
+            .set(ss.timePerInstCv);
+        reg.gauge("run.sampling.energy_per_inst_cv",
+                  "window energy-per-inst coefficient of variation")
+            .set(ss.energyPerInstCv);
+    }
 
     if (controller) {
         std::string p = "control.";

@@ -28,6 +28,7 @@
 #include "clock/dvfs.hh"
 #include "clock/operating_points.hh"
 #include "control/controller.hh"
+#include "core/sampling.hh"
 #include "core/sched.hh"
 #include "core/sim_config.hh"
 #include "cpu/core_units.hh"
@@ -153,6 +154,9 @@ class McdProcessor
     std::unique_ptr<PowerModel> power;
     TraceCollector collector;
     std::unique_ptr<CoreUnits> pipe;
+
+    /** Sampling state machine (sampled runs only; see SimConfig). */
+    std::unique_ptr<SamplingPolicy> samplingPolicy;
     std::array<std::unique_ptr<DomainDvfs>, numDomains> dvfs;
 
     // The control plane: either the caller's controller or an

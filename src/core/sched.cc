@@ -10,6 +10,8 @@ EventScheduler::schedule(Actor *a, Tick when, int priority)
     if (when == Actor::never)
         return;
     heap.push_back({when, priority, nextSeq++, a});
+    if (heap.size() > peak)
+        peak = heap.size();
     siftUp(heap.size() - 1);
 }
 

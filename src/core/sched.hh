@@ -97,6 +97,12 @@ class EventScheduler
     bool empty() const { return heap.empty(); }
     std::size_t size() const { return heap.size(); }
 
+    /** Pre-size the heap (the actor population is known up front). */
+    void reserve(std::size_t n) { heap.reserve(n); }
+
+    /** Largest heap size ever observed (pre-sizing proof). */
+    std::size_t peakSize() const { return peak; }
+
     /** Drop every pending event (between runs). */
     void clear() { heap.clear(); }
 
@@ -124,6 +130,7 @@ class EventScheduler
     void siftDown(std::size_t i);
 
     std::vector<Event> heap;
+    std::size_t peak = 0;
     std::uint64_t nextSeq = 0;
     Tick curTick = Actor::never;
     int curPriority = 0;

@@ -89,6 +89,14 @@ SimConfig::validate() const
     }
     checkFinitePositive(dvfsTimeScale, "dvfsTimeScale");
 
+    if (sampling) {
+        sampling->validate();
+        if (collectTrace)
+            fatal("SimConfig: sampling and collectTrace are mutually "
+                  "exclusive (the primitive-event trace needs every "
+                  "instruction simulated in detail)");
+    }
+
     if (controller && schedule)
         fatal("SimConfig: set either controller or schedule, not both "
               "(wrap the schedule in a ScheduleController if you need "

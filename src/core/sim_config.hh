@@ -14,6 +14,7 @@
 
 #include "clock/dvfs.hh"
 #include "common/types.hh"
+#include "core/sampling.hh"
 #include "cpu/params.hh"
 #include "cpu/pipeline_stats.hh"
 #include "mem/cache.hh"
@@ -78,6 +79,15 @@ struct SimConfig
 
     /** Collect the primitive-event trace (profiling runs). */
     bool collectTrace = false;
+
+    /**
+     * SMARTS-style interval sampling (core/sampling.hh): detailed
+     * windows alternating with functional fast-forward. Unset = full
+     * detail, which stays byte-identical to pre-sampling builds.
+     * Incompatible with collectTrace (the dependence-graph analysis
+     * needs every instruction's timestamps).
+     */
+    std::optional<SamplingParams> sampling;
 
     /** Stop after this many committed instructions (0 = run to HALT). */
     std::uint64_t maxInstructions = 0;
@@ -158,6 +168,11 @@ struct RunResult
 
     /** Per-domain frequency traces when recordFreqTrace was set. */
     std::array<std::vector<FreqTracePoint>, numDomains> freqTraces;
+
+    /** Sampling accounting when the run was sampled; unset otherwise.
+     *  execTime/totalEnergy/committed above already include the
+     *  extrapolated fast-forward contribution. */
+    std::optional<SamplingSummary> sampling;
 
     /**
      * The run's telemetry context (stats registry, sampler, trace

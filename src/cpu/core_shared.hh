@@ -18,12 +18,13 @@
 #define MCD_CPU_CORE_SHARED_HH
 
 #include <array>
-#include <deque>
 #include <vector>
 
 #include "clock/clock_domain.hh"
 #include "clock/sync.hh"
+#include "common/ring_buffer.hh"
 #include "cpu/dyn_inst.hh"
+#include "cpu/inst_window.hh"
 #include "cpu/params.hh"
 #include "cpu/pipeline_stats.hh"
 #include "cpu/regfile.hh"
@@ -33,6 +34,8 @@
 #include "trace/trace.hh"
 
 namespace mcd {
+
+class SamplingPolicy;   // core/sampling.hh; only sampled runs bind one
 
 /**
  * Register-result visibility across domains: a consumer may read a
@@ -83,16 +86,24 @@ struct DomainPorts
 {
     DomainPorts(const RenameState &int_rename,
                 const RenameState &fp_rename,
-                int int_iq_credits, int fp_iq_credits)
+                int int_iq_credits, int fp_iq_credits, int lsq_capacity)
         : intIqCredits(SyncRule(false, 0), int_iq_credits),
           fpIqCredits(SyncRule(false, 0), fp_iq_credits),
           results(int_rename, fp_rename)
-    {}
+    {
+        // Pre-size every bounded queue so the steady state never
+        // touches the allocator (growth is counted; see stats()).
+        intIq.reserve(static_cast<std::size_t>(int_iq_credits));
+        fpIq.reserve(static_cast<std::size_t>(fp_iq_credits));
+        lsq.reserve(static_cast<std::size_t>(lsq_capacity));
+        intIqCredits.reserve(static_cast<std::size_t>(int_iq_credits));
+        fpIqCredits.reserve(static_cast<std::size_t>(fp_iq_credits));
+    }
 
     /** Dispatch into the issue queues and LSQ (front end -> back end). */
     SyncPort<DynInst *, std::vector> intIq;
     SyncPort<DynInst *, std::vector> fpIq;
-    SyncPort<DynInst *, std::deque> lsq;
+    SyncPort<DynInst *, RingDeque> lsq;
 
     /** Issue-queue slot returns (back end -> front end). */
     CreditReturnChannel intIqCredits;
@@ -121,7 +132,8 @@ struct CoreShared
         : cfg(params), oracle(oracle_), mem(memory), clk(clocks),
           powerModel(power), tracer(collector),
           intRename(numArchIntRegs, params.physIntRegs),
-          fpRename(numArchFpRegs, params.physFpRegs)
+          fpRename(numArchFpRegs, params.physFpRegs),
+          window(params.robSize + params.fetchQueueSize)
     {}
 
     CoreParams cfg;     //!< owned copy: callers may pass temporaries
@@ -134,8 +146,14 @@ struct CoreShared
     RenameState intRename;
     RenameState fpRename;
 
-    // Instruction window storage (fetch order; popped at commit).
-    std::deque<DynInst> window;
+    // Instruction window storage (fetch order; popped at commit):
+    // a fixed-capacity ring arena with stable slot addresses
+    // (capacity = robSize + fetchQueueSize bounds the in-flight
+    // count; see inst_window.hh).
+    InstWindow window;
+
+    /** Sampling policy for sampled runs; null in full detail. */
+    SamplingPolicy *sampling = nullptr;
 
     Tick lastCommit = 0;
     bool haltCommitted = false;

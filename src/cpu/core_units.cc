@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/sampling.hh"
+
 namespace mcd {
 
 CoreUnits::CoreUnits(const CoreParams &params, Executor &oracle,
@@ -11,7 +13,8 @@ CoreUnits::CoreUnits(const CoreParams &params, Executor &oracle,
                      TraceCollector *collector, std::uint64_t commit_cap)
     : shared(params, oracle, memory, clocks, power, collector),
       ports(shared.intRename, shared.fpRename,
-            params.intIssueQueueSize, params.fpIssueQueueSize),
+            params.intIssueQueueSize, params.fpIssueQueueSize,
+            params.lsqSize),
       fe(shared, ports), intUnit(shared, ports), fpUnit(shared, ports),
       lsUnit(shared, ports), commitCap(commit_cap)
 {
@@ -42,11 +45,10 @@ CoreUnits::CoreUnits(const CoreParams &params, Executor &oracle,
     ports.lsq.setRule(rules[fe_i][ls_i]);
 
     // Issue-queue credit returns cross from the back-end domains into
-    // the front end.
-    ports.intIqCredits = CreditReturnChannel(rules[int_i][fe_i],
-                                             params.intIssueQueueSize);
-    ports.fpIqCredits = CreditReturnChannel(rules[fp_i][fe_i],
-                                            params.fpIssueQueueSize);
+    // the front end. Rebind the rule only — the channels were built
+    // (and their in-flight rings pre-sized) by the DomainPorts ctor.
+    ports.intIqCredits.setRule(rules[int_i][fe_i]);
+    ports.fpIqCredits.setRule(rules[fp_i][fe_i]);
 
     // Generated addresses cross from the integer domain into the LSQ.
     ports.addr.setRule(rules[int_i][ls_i]);
@@ -67,8 +69,14 @@ CoreUnits::tickDomain(Domain d, Tick now)
     switch (d) {
       case Domain::FrontEnd:
         fe.tick(now);
+        if (shared.sampling)
+            driveSampling(now);
+        // The commit cap counts fast-forwarded instructions too: a
+        // sampled run covers the same dynamic stream as a full-detail
+        // run with the same cap.
         if (shared.haltCommitted ||
-            (commitCap && shared.stat.committed >= commitCap)) {
+            (commitCap && shared.stat.committed + ffExecuted() >=
+                commitCap)) {
             stopReq = true;
         }
         break;
@@ -76,6 +84,66 @@ CoreUnits::tickDomain(Domain d, Tick now)
       case Domain::FloatingPoint: fpUnit.tick(now); break;
       case Domain::LoadStore: lsUnit.tick(now); break;
     }
+}
+
+void
+CoreUnits::driveSampling(Tick now)
+{
+    SamplingPolicy *sp = shared.sampling;
+    if (!sp->onFrontEndTick(shared.stat.committed, now,
+                            shared.window.empty(), fe.haltSeen())) {
+        return;
+    }
+
+    // The window drained at an architectural boundary: run one
+    // functional fast-forward segment straight on the oracle. The
+    // caches and the branch predictor are warmed; no simulated time
+    // passes and no power is charged (both are extrapolated from the
+    // detailed windows — see SamplingPolicy::summary).
+    std::uint64_t budget = sp->ffBudget(commitCap, shared.stat.committed);
+    const std::uint64_t lineMask = ~static_cast<std::uint64_t>(
+        shared.mem.l1i().params().lineBytes - 1);
+    std::uint64_t lastLine = ~std::uint64_t{0};
+    std::uint64_t executed = 0;
+    bool halted = false;
+    while (executed < budget) {
+        std::uint64_t pc = shared.oracle.pc();
+        std::uint64_t line = pc & lineMask;
+        if (line != lastLine) {
+            shared.mem.instFetch(pc, now);
+            lastLine = line;
+        }
+        ExecResult er = shared.oracle.step();
+        ++executed;
+        if (isMem(er.inst.op)) {
+            shared.mem.dataAccess(er.memAddr & ~7ULL,
+                                  isStore(er.inst.op), now);
+        }
+        fe.warmFastForward(er);
+        if (er.halted) {
+            halted = true;
+            break;
+        }
+    }
+    sp->onFastForwardDone(executed, halted, shared.stat.committed);
+    if (halted) {
+        // HALT was consumed functionally: no in-flight instruction
+        // remains to commit it, so the stop is requested here.
+        stopReq = true;
+    }
+}
+
+std::uint64_t
+CoreUnits::ffExecuted() const
+{
+    return shared.sampling ? shared.sampling->ffExecuted() : 0;
+}
+
+std::uint64_t
+CoreUnits::ringGrows() const
+{
+    return fe.ringGrows() + ports.lsq.containerGrows() +
+        ports.intIqCredits.grows() + ports.fpIqCredits.grows();
 }
 
 PipelineStats

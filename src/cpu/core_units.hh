@@ -73,6 +73,20 @@ class CoreUnits
     /** In-flight instruction count (test hook). */
     std::size_t inFlight() const { return shared.window.size(); }
 
+    /** Bind the sampling policy (sampled runs; null = full detail). */
+    void bindSampling(SamplingPolicy *sp) { shared.sampling = sp; }
+
+    /** Instructions consumed by fast-forward so far (0 unsampled). */
+    std::uint64_t ffExecuted() const;
+
+    /** Instruction-window high-water mark and capacity (arena proof). */
+    std::size_t windowHighWater() const { return shared.window.highWater(); }
+    std::size_t windowCapacity() const { return shared.window.capacity(); }
+
+    /** Total ring reallocations across all pre-sized queues (0 when
+     *  every reservation held; see common/ring_buffer.hh). */
+    std::uint64_t ringGrows() const;
+
     /** Entries currently in @p d's primary queue. */
     std::size_t queueLength(Domain d) const;
 
@@ -86,6 +100,8 @@ class CoreUnits
     OccupancyWindow takeOccupancyWindow(Domain d);
 
   private:
+    void driveSampling(Tick now);
+
     CoreShared shared;
     DomainPorts ports;
 

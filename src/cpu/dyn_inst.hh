@@ -3,6 +3,14 @@
  * The in-flight (dynamic) instruction record shared by all pipeline
  * structures, and its lifecycle timestamps. Timestamps double as the
  * primitive-event trace consumed by the offline analysis tool.
+ *
+ * The record is split hot/cold: DynInst keeps only the fields the
+ * timing loops read per cycle (status bits, physical registers, the
+ * completion timestamps), while fields written once and read only at
+ * trace-record time (oracle outcomes, dependence seqs, issue-side
+ * timestamps) live in a parallel DynInstCold record owned by the
+ * InstWindow arena. The issue-queue and LSQ scans walk roughly half
+ * the bytes per instruction as a result.
  */
 
 #ifndef MCD_CPU_DYN_INST_HH
@@ -18,33 +26,37 @@ namespace mcd {
 /** Sentinel for "no physical register". */
 inline constexpr int noReg = -1;
 
-/** One in-flight instruction. */
+/**
+ * Cold half of one in-flight instruction: archival oracle outcomes
+ * and timestamps read only when the trace record is emitted at
+ * commit. Allocated alongside the DynInst in the InstWindow.
+ */
+struct DynInstCold
+{
+    std::uint64_t pc = 0;
+    bool taken = false;             //!< oracle branch outcome
+    std::uint64_t nextPc = 0;
+    bool predictedTaken = false;
+
+    std::uint64_t src1Producer = 0; //!< seq of producing inst (0 = none)
+    std::uint64_t src2Producer = 0;
+
+    Tick issueTime = 0;
+    Tick memIssueTime = 0;
+    Tick memFixedLat = 0;           //!< DRAM (unscalable) part of latency
+    Tick commitTime = 0;
+};
+
+/** One in-flight instruction (hot half). */
 struct DynInst
 {
     std::uint64_t seq = 0;      //!< dynamic instruction number
-    std::uint64_t pc = 0;
     Inst inst;
-
-    // Oracle outcomes.
-    bool taken = false;
-    std::uint64_t nextPc = 0;
     std::uint64_t memAddr = 0;
     bool isHalt = false;
 
     // Branch prediction state.
-    bool predictedTaken = false;
     bool mispredicted = false;
-
-    // Rename state.
-    int destPhys = noReg;
-    int oldDestPhys = noReg;    //!< freed at commit
-    DestKind dest = DestKind::None;
-    int src1Phys = noReg;       //!< noReg when no (live) source
-    int src2Phys = noReg;
-    bool src1Fp = false;        //!< src1 lives in the FP register file
-    bool src2Fp = false;
-    std::uint64_t src1Producer = 0; //!< seq of producing inst (0 = none)
-    std::uint64_t src2Producer = 0;
 
     // Pipeline status.
     bool dispatched = false;
@@ -54,15 +66,23 @@ struct DynInst
     bool memDone = false;
     bool retired = false;
 
-    // Timestamps (absolute picoseconds).
+    // Rename state.
+    int destPhys = noReg;
+    int oldDestPhys = noReg;    //!< freed at commit
+    DestKind dest = DestKind::None;
+    int src1Phys = noReg;       //!< noReg when no (live) source
+    int src2Phys = noReg;
+    bool src1Fp = false;        //!< src1 lives in the FP register file
+    bool src2Fp = false;
+
+    // Timestamps the pipeline re-reads (absolute picoseconds).
     Tick fetchTime = 0;         //!< entered the fetch queue
     Tick dispatchTime = 0;      //!< renamed + dispatched
-    Tick issueTime = 0;
     Tick execDoneTime = 0;      //!< ALU / addr-gen result ready
-    Tick memIssueTime = 0;
     Tick memDoneTime = 0;       //!< cache access complete
-    Tick memFixedLat = 0;       //!< DRAM (unscalable) part of latency
-    Tick commitTime = 0;
+
+    /** Trace-only fields; points into the InstWindow's cold array. */
+    DynInstCold *cold = nullptr;
 
     bool isLoadOp() const { return isLoad(inst.op); }
     bool isStoreOp() const { return isStore(inst.op); }

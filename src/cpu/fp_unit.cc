@@ -39,7 +39,7 @@ FpUnit::tick(Tick now)
         pool.issue(now, done);
 
         in->issued = true;
-        in->issueTime = now;
+        in->cold->issueTime = now;
         in->execDoneTime = done;
         in->executed = true;
         anyIssued = true;

@@ -1,6 +1,7 @@
 #include "front_end_unit.hh"
 
 #include "common/log.hh"
+#include "core/sampling.hh"
 
 namespace mcd {
 
@@ -48,7 +49,7 @@ FrontEndUnit::commitStage(Tick now)
             break;
         }
 
-        in->commitTime = now;
+        in->cold->commitTime = now;
         in->retired = true;
         s.lastCommit = now;
 
@@ -166,20 +167,20 @@ FrontEndUnit::dispatchOne(DynInst *in, Tick now)
     if (readsIntRs1(op) && inst.rs1 != reg::zero) {
         in->src1Phys = s.intRename.lookup(inst.rs1);
         in->src1Fp = false;
-        in->src1Producer = s.intRename.lastWriterSeq(inst.rs1);
+        in->cold->src1Producer = s.intRename.lastWriterSeq(inst.rs1);
     } else if (readsFpRs1(op)) {
         in->src1Phys = s.fpRename.lookup(inst.rs1);
         in->src1Fp = true;
-        in->src1Producer = s.fpRename.lastWriterSeq(inst.rs1);
+        in->cold->src1Producer = s.fpRename.lastWriterSeq(inst.rs1);
     }
     if (readsIntRs2(op) && inst.rs2 != reg::zero) {
         in->src2Phys = s.intRename.lookup(inst.rs2);
         in->src2Fp = false;
-        in->src2Producer = s.intRename.lastWriterSeq(inst.rs2);
+        in->cold->src2Producer = s.intRename.lastWriterSeq(inst.rs2);
     } else if (readsFpRs2(op)) {
         in->src2Phys = s.fpRename.lookup(inst.rs2);
         in->src2Fp = true;
-        in->src2Producer = s.fpRename.lastWriterSeq(inst.rs2);
+        in->cold->src2Producer = s.fpRename.lastWriterSeq(inst.rs2);
     }
 
     // Rename destination.
@@ -221,7 +222,7 @@ FrontEndUnit::dispatchOne(DynInst *in, Tick now)
     if (op == Opcode::NOP || op == Opcode::HALT) {
         // Completes in the front end without visiting a back-end queue.
         in->executed = true;
-        in->issueTime = now;
+        in->cold->issueTime = now;
         in->execDoneTime = now + 1;
     }
     return true;
@@ -231,6 +232,12 @@ void
 FrontEndUnit::fetchStage(Tick now)
 {
     if (haltFetched)
+        return;
+
+    // Sampled simulation: while the policy drains toward a
+    // fast-forward boundary, fetch is gated so the window empties at
+    // a clean architectural point.
+    if (s.sampling && s.sampling->fetchGated())
         return;
 
     // Waiting for a mispredicted branch to resolve: the front end
@@ -293,13 +300,12 @@ FrontEndUnit::fetchStage(Tick now)
         }
 
         ExecResult er = s.oracle.step();
-        s.window.emplace_back();
-        DynInst *in = &s.window.back();
+        DynInst *in = s.window.emplace_back();
         in->seq = er.seq;
-        in->pc = er.pc;
+        in->cold->pc = er.pc;
         in->inst = er.inst;
-        in->taken = er.taken;
-        in->nextPc = er.nextPc;
+        in->cold->taken = er.taken;
+        in->cold->nextPc = er.nextPc;
         in->memAddr = er.memAddr;
         in->isHalt = er.halted;
         in->fetchTime = groupReady;
@@ -307,7 +313,7 @@ FrontEndUnit::fetchStage(Tick now)
         Opcode op = er.inst.op;
         if (isBranch(op)) {
             BpredLookup look = predictor.predictBranch(er.pc);
-            in->predictedTaken = look.taken;
+            in->cold->predictedTaken = look.taken;
             bool correct;
             if (er.taken) {
                 correct = look.taken && look.btbHit &&
@@ -320,7 +326,7 @@ FrontEndUnit::fetchStage(Tick now)
                              true);
         } else if (op == Opcode::JALR) {
             BpredLookup look = predictor.predictIndirect(er.pc);
-            in->predictedTaken = true;
+            in->cold->predictedTaken = true;
             in->mispredicted = !(look.btbHit && look.target == er.nextPc);
             predictor.update(er.pc, true, er.nextPc, true, false);
         }
@@ -346,6 +352,21 @@ FrontEndUnit::fetchStage(Tick now)
 }
 
 void
+FrontEndUnit::warmFastForward(const ExecResult &er)
+{
+    // Keep the predictor's lookup/update sequence identical to the
+    // detailed fetch path so its tables train on the skipped stream.
+    Opcode op = er.inst.op;
+    if (isBranch(op)) {
+        BpredLookup look = predictor.predictBranch(er.pc);
+        predictor.update(er.pc, er.taken, er.nextPc, look.taken, true);
+    } else if (op == Opcode::JALR) {
+        predictor.predictIndirect(er.pc);
+        predictor.update(er.pc, true, er.nextPc, true, false);
+    }
+}
+
+void
 FrontEndUnit::recordTrace(const DynInst *in)
 {
     if (!s.tracer || !s.tracer->isEnabled())
@@ -354,17 +375,17 @@ FrontEndUnit::recordTrace(const DynInst *in)
     t.seq = in->seq;
     t.op = in->inst.op;
     t.fu = fuClass(in->inst.op);
-    t.dep1 = in->src1Producer;
-    t.dep2 = in->src2Producer;
+    t.dep1 = in->cold->src1Producer;
+    t.dep2 = in->cold->src2Producer;
     t.mispredicted = in->mispredicted;
     t.fetchTime = in->fetchTime;
     t.dispatchTime = in->dispatchTime;
-    t.issueTime = in->issueTime;
+    t.issueTime = in->cold->issueTime;
     t.execDone = in->execDoneTime;
-    t.memIssue = in->memIssueTime;
+    t.memIssue = in->cold->memIssueTime;
     t.memDone = in->memDoneTime;
-    t.memFixed = in->memFixedLat;
-    t.commitTime = in->commitTime;
+    t.memFixed = in->cold->memFixedLat;
+    t.commitTime = in->cold->commitTime;
     s.tracer->record(t);
 }
 

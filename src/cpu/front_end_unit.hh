@@ -17,8 +17,7 @@
 #ifndef MCD_CPU_FRONT_END_UNIT_HH
 #define MCD_CPU_FRONT_END_UNIT_HH
 
-#include <deque>
-
+#include "common/ring_buffer.hh"
 #include "cpu/bpred.hh"
 #include "cpu/core_shared.hh"
 
@@ -30,7 +29,11 @@ class FrontEndUnit
     FrontEndUnit(CoreShared &shared, DomainPorts &ports)
         : s(shared), p(ports), predictor(shared.cfg.bpred),
           lsqFree(shared.cfg.lsqSize)
-    {}
+    {
+        fetchQueue.reserve(
+            static_cast<std::size_t>(shared.cfg.fetchQueueSize));
+        rob.reserve(static_cast<std::size_t>(shared.cfg.robSize));
+    }
 
     /** One front-end cycle at edge time @p now. */
     void
@@ -46,6 +49,18 @@ class FrontEndUnit
     /** ROB occupancy (the front end's primary queue). */
     std::size_t robLength() const { return rob.size(); }
 
+    /** Has the HALT instruction been fetched (and so entered the
+     *  window)? Sampling uses this to stop scheduling fast-forwards. */
+    bool haltSeen() const { return haltFetched; }
+
+    /** Warm the branch predictor with one functionally fast-forwarded
+     *  instruction (sampled simulation; no DynInst is allocated). */
+    void warmFastForward(const ExecResult &er);
+
+    /** Ring reallocations across the front end's own queues. */
+    std::uint64_t ringGrows() const
+    { return fetchQueue.grows() + rob.grows(); }
+
   private:
     void commitStage(Tick now);
     void renameDispatchStage(Tick now);
@@ -57,8 +72,8 @@ class FrontEndUnit
     DomainPorts &p;
 
     BranchPredictor predictor;
-    std::deque<DynInst *> fetchQueue;
-    std::deque<DynInst *> rob;
+    RingDeque<DynInst *> fetchQueue;
+    RingDeque<DynInst *> rob;
     int lsqFree;
 
     // Fetch state.

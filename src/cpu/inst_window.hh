@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fixed-capacity ring arena for the in-flight instruction window.
+ *
+ * Every in-flight instruction lives in exactly one window slot from
+ * fetch to commit, and the machine's structural limits bound the
+ * in-flight count by robSize + fetchQueueSize (an instruction is in
+ * the fetch queue or the ROB, never both, and each is capacity-
+ * checked before insertion). So the window is a ring of pre-allocated
+ * slots: allocation is a head/count bump, reclamation at commit pops
+ * the head, and slot addresses are stable for the whole in-flight
+ * lifetime — the property every DynInst* held by the issue queues,
+ * LSQ port, and ROB depends on (std::deque provided it via per-block
+ * allocation; the ring provides it with zero steady-state allocator
+ * traffic).
+ *
+ * The hot DynInst records and the cold trace-only records
+ * (DynInstCold) are parallel arrays: the timing loops touch only the
+ * hot array, roughly halving the bytes per instruction the scan paths
+ * pull through the cache. See DESIGN.md section 11.
+ */
+
+#ifndef MCD_CPU_INST_WINDOW_HH
+#define MCD_CPU_INST_WINDOW_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/log.hh"
+#include "cpu/dyn_inst.hh"
+
+namespace mcd {
+
+class InstWindow
+{
+  public:
+    explicit InstWindow(int capacity)
+        : slots(static_cast<std::size_t>(capacity)),
+          colds(static_cast<std::size_t>(capacity))
+    {}
+
+    /** Allocate the next slot (fetch): a fresh DynInst + cold record. */
+    DynInst *
+    emplace_back()
+    {
+        if (count == slots.size())
+            panic("InstWindow overflow: in-flight count exceeded "
+                  "robSize + fetchQueueSize");
+        std::size_t i = index(count);
+        slots[i] = DynInst{};
+        colds[i] = DynInstCold{};
+        slots[i].cold = &colds[i];
+        ++count;
+        if (count > peak)
+            peak = count;
+        return &slots[i];
+    }
+
+    DynInst &front() { return slots[head]; }
+    const DynInst &front() const { return slots[head]; }
+
+    /** Reclaim the oldest slot (commit). */
+    void
+    pop_front()
+    {
+        head = index(1);
+        --count;
+        if (!count)
+            head = 0;
+    }
+
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    std::size_t capacity() const { return slots.size(); }
+
+    /** In-flight high-water mark over the run. */
+    std::size_t highWater() const { return peak; }
+
+  private:
+    std::size_t
+    index(std::size_t i) const
+    {
+        std::size_t j = head + i;
+        return j >= slots.size() ? j - slots.size() : j;
+    }
+
+    std::vector<DynInst> slots;
+    std::vector<DynInstCold> colds;
+    std::size_t head = 0;
+    std::size_t count = 0;
+    std::size_t peak = 0;
+};
+
+} // namespace mcd
+
+#endif // MCD_CPU_INST_WINDOW_HH

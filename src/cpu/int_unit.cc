@@ -47,7 +47,7 @@ IntUnit::tick(Tick now)
         pool.issue(now, done);
 
         in->issued = true;
-        in->issueTime = now;
+        in->cold->issueTime = now;
         in->execDoneTime = done;
         in->executed = true;
         anyIssued = true;

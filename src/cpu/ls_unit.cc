@@ -29,9 +29,9 @@ LsUnit::tick(Tick now)
             MemAccessResult r =
                 s.mem.dataAccess(in->memAddr & ~7ULL, true, now);
             in->memIssued = true;
-            in->memIssueTime = now;
+            in->cold->memIssueTime = now;
             in->memDoneTime = r.ready;
-            in->memFixedLat = r.dramTime;
+            in->cold->memFixedLat = r.dramTime;
             in->memDone = true;
             s.chargePower(Unit::Dcache);
             if (r.l2Accessed)
@@ -62,7 +62,7 @@ LsUnit::tick(Tick now)
             continue;
 
         in->memIssued = true;
-        in->memIssueTime = now;
+        in->cold->memIssueTime = now;
         if (forwarded) {
             const double period =
                 s.clk[domainIndex(Domain::LoadStore)]->period();
@@ -72,7 +72,7 @@ LsUnit::tick(Tick now)
             MemAccessResult r =
                 s.mem.dataAccess(in->memAddr & ~7ULL, false, now);
             in->memDoneTime = r.ready;
-            in->memFixedLat = r.dramTime;
+            in->cold->memFixedLat = r.dramTime;
             s.chargePower(Unit::Dcache);
             if (r.l2Accessed)
                 s.chargePower(Unit::L2);

@@ -10,8 +10,10 @@
 
 #include "common/log.hh"
 #include "common/random.hh"
+#include "common/ring_buffer.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "cpu/inst_window.hh"
 
 namespace mcd {
 namespace {
@@ -225,6 +227,119 @@ TEST(Log, AssertHelper)
 {
     EXPECT_NO_THROW(mcdAssert(true, "fine"));
     EXPECT_THROW(mcdAssert(false, "nope"), PanicError);
+}
+
+TEST(RingDeque, FifoOrderAcrossWraparound)
+{
+    RingDeque<int> q(4);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.capacity(), 4u);
+
+    // Cycle through the ring several times its capacity: the FIFO
+    // order must hold across every wraparound, with no growth.
+    int nextPush = 0;
+    int nextPop = 0;
+    for (int round = 0; round < 5; ++round) {
+        while (q.size() < 3)
+            q.push_back(nextPush++);
+        EXPECT_EQ(q.front(), nextPop);
+        EXPECT_EQ(q.back(), nextPush - 1);
+        for (std::size_t i = 0; i < q.size(); ++i)
+            EXPECT_EQ(q[i], nextPop + static_cast<int>(i));
+        while (!q.empty()) {
+            EXPECT_EQ(q.front(), nextPop++);
+            q.pop_front();
+        }
+    }
+    EXPECT_EQ(q.grows(), 0u);
+    EXPECT_EQ(q.capacity(), 4u);
+}
+
+TEST(RingDeque, GrowthIsCountedAndPreservesOrder)
+{
+    RingDeque<int> q(2);
+    // Mis-align head so growth has to re-lay a wrapped span.
+    q.push_back(-1);
+    q.pop_front();
+    for (int i = 0; i < 10; ++i)
+        q.push_back(i);
+    EXPECT_GT(q.grows(), 0u);
+    EXPECT_GE(q.capacity(), 10u);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(q.front(), i);
+        q.pop_front();
+    }
+
+    // reserve() never counts as a growth.
+    RingDeque<int> r;
+    r.reserve(16);
+    for (int i = 0; i < 16; ++i)
+        r.push_back(i);
+    EXPECT_EQ(r.grows(), 0u);
+}
+
+TEST(RingDeque, ClearRewindsWithoutShrinking)
+{
+    RingDeque<int> q(4);
+    q.push_back(1);
+    q.push_back(2);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.capacity(), 4u);
+    q.push_back(7);
+    EXPECT_EQ(q.front(), 7);
+    EXPECT_EQ(q.back(), 7);
+}
+
+TEST(InstWindow, StableAddressesAndHighWater)
+{
+    InstWindow w(4);
+    EXPECT_EQ(w.capacity(), 4u);
+
+    DynInst *a = w.emplace_back();
+    DynInst *b = w.emplace_back();
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(a, b);
+    // Slots arrive reset, with the cold record bound.
+    ASSERT_NE(a->cold, nullptr);
+    ASSERT_NE(a->cold, b->cold);
+    a->cold->pc = 0x1234;
+
+    // Addresses stay stable while the instruction is in flight, and
+    // slots recycle after pop_front without invalidating the rest.
+    w.pop_front();                      // retire a
+    DynInst *c = w.emplace_back();
+    DynInst *d = w.emplace_back();
+    EXPECT_EQ(w.size(), 3u);
+    EXPECT_EQ(&w.front(), b);
+    EXPECT_NE(c, b);
+    EXPECT_NE(d, b);
+
+    EXPECT_EQ(w.highWater(), 3u);       // never held more than 3
+    w.emplace_back();
+    EXPECT_EQ(w.highWater(), 4u);
+
+    // Overflow past the structural bound is a panic, not a resize:
+    // DynInst* stability is the whole point of the arena.
+    EXPECT_THROW(w.emplace_back(), PanicError);
+}
+
+TEST(InstWindow, RecycledSlotsAreReset)
+{
+    InstWindow w(2);
+    DynInst *a = w.emplace_back();
+    a->cold->pc = 99;
+    a->seq = 42;
+    a->dispatched = true;
+    w.pop_front();
+    // The same physical slot comes back clean.
+    DynInst *b = w.emplace_back();
+    EXPECT_EQ(b, a);
+    EXPECT_EQ(b->cold->pc, 0u);
+    EXPECT_EQ(b->seq, 0u);
+    EXPECT_FALSE(b->dispatched);
+    w.pop_front();
+    EXPECT_TRUE(w.empty());
 }
 
 } // namespace
