@@ -155,21 +155,50 @@ finish(const std::vector<BenchmarkResults> &rows)
     int code = matrixExitCode(rows);
     if (code != exitOk) {
         std::size_t failed = 0;
-        for (const BenchmarkResults &r : rows)
+        std::size_t total = 0;
+        for (const BenchmarkResults &r : rows) {
             failed += r.failedLegs();
+            total += r.totalLegs();
+        }
         std::fprintf(stderr,
                      "  matrix degraded: %zu of %zu legs failed "
                      "(exit %d)\n",
-                     failed, rows.size() * 6, code);
+                     failed, total, code);
     }
     return code;
 }
 
 /**
- * Print one paper-style figure: a metric for the five non-baseline
- * configurations per benchmark plus the average row. The "online"
- * column (queue-driven attack/decay controller) extends the paper's
- * four with the practical control loop the oracle columns bound.
+ * Handle the shared figure-binary command line: `--tournament` runs
+ * the registered-controller tournament instead of the paper's default
+ * matrix (same as MCD_TOURNAMENT=1; the flag just exports the
+ * variable so the env-driven plumbing stays the single source of
+ * truth). Unknown flags are rejected with a usage message.
+ */
+inline void
+parseFigureArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--tournament") {
+            ::setenv("MCD_TOURNAMENT", "1", /*overwrite=*/1);
+            continue;
+        }
+        std::fprintf(stderr,
+                     "usage: %s [--tournament]\n"
+                     "  unknown argument '%s'\n",
+                     argv[0], arg.c_str());
+        std::exit(2);
+    }
+}
+
+/**
+ * Print one paper-style figure: a metric for every dynamic-control
+ * leg per benchmark (the column set follows the configured legs, so
+ * a tournament matrix grows one column per registered controller)
+ * plus the average row. In the default matrix the "online" column
+ * (queue-driven attack/decay controller) extends the paper's four
+ * with the practical control loop the oracle columns bound.
  */
 inline void
 printFigure(const char *title,
@@ -178,17 +207,24 @@ printFigure(const char *title,
                                        const RunResult &)> &metric)
 {
     std::printf("%s\n\n", title);
+    if (rows.empty()) {
+        std::printf("(no benchmarks)\n");
+        return;
+    }
     TextTable t;
-    t.header({"benchmark", "baseline MCD", "dynamic-1%", "dynamic-5%",
-              "global", "online"});
-    constexpr int numCfgs = 5;
-    double sum[numCfgs] = {};
-    std::size_t count[numCfgs] = {};
+    std::vector<std::string> header{"benchmark", "baseline MCD"};
+    for (const ControllerLeg &l : rows[0].legs)
+        header.push_back(l.spec.display);
+    t.header(std::move(header));
+    const std::size_t numCfgs = rows[0].legs.size() + 1;
+    std::vector<double> sum(numCfgs, 0.0);
+    std::vector<std::size_t> count(numCfgs, 0);
     for (const BenchmarkResults &r : rows) {
-        const RunResult *cfgs[numCfgs] = {&r.mcdBaseline, &r.dyn1,
-                                          &r.dyn5, &r.global, &r.online};
+        std::vector<const RunResult *> cfgs{&r.mcdBaseline};
+        for (const ControllerLeg &l : r.legs)
+            cfgs.push_back(&l.run);
         std::vector<std::string> cells{r.name};
-        for (int i = 0; i < numCfgs; ++i) {
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
             // Metrics are ratios against the baseline leg: with
             // either run dead there is no number to print, and the
             // column average covers only the legs that completed.
@@ -205,13 +241,49 @@ printFigure(const char *title,
     }
     t.separator();
     std::vector<std::string> avg{"average"};
-    for (int i = 0; i < numCfgs; ++i) {
+    for (std::size_t i = 0; i < numCfgs; ++i) {
         avg.push_back(count[i]
                       ? formatPercent(sum[i] /
                                       static_cast<double>(count[i]))
                       : std::string("n/a"));
     }
     t.row(std::move(avg));
+    std::fputs(t.render().c_str(), stdout);
+}
+
+/**
+ * Print the tournament leaderboard: every dynamic-control leg ranked
+ * by mean energy-delay-product improvement across the matrix, with
+ * its mean energy savings and performance degradation alongside.
+ */
+inline void
+printLeaderboard(const std::vector<BenchmarkResults> &rows)
+{
+    std::vector<LeaderboardRow> board = computeLeaderboard(rows);
+    std::printf("\nController tournament leaderboard "
+                "(mean over %zu benchmarks, ranked by EDP "
+                "improvement)\n\n",
+                rows.size());
+    TextTable t;
+    t.header({"rank", "leg", "kind", "EDP improvement",
+              "energy savings", "perf degradation", "completed"});
+    for (std::size_t i = 0; i < board.size(); ++i) {
+        const LeaderboardRow &lr = board[i];
+        const char *kind = "controller";
+        if (lr.spec.kind == LegSpec::Kind::ScheduleReplay)
+            kind = "schedule-replay";
+        else if (lr.spec.kind == LegSpec::Kind::GlobalSearch)
+            kind = "global-search";
+        t.row({std::to_string(i + 1), lr.spec.name, kind,
+               lr.completed ? formatPercent(lr.meanEdpImprovement)
+                            : std::string("n/a"),
+               lr.completed ? formatPercent(lr.meanEnergySavings)
+                            : std::string("n/a"),
+               lr.completed ? formatPercent(lr.meanPerfDegradation)
+                            : std::string("n/a"),
+               std::to_string(lr.completed) + "/" +
+                   std::to_string(lr.completed + lr.failed)});
+    }
     std::fputs(t.render().c_str(), stdout);
 }
 

@@ -16,8 +16,9 @@
 using namespace mcd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::parseFigureArgs(argc, argv);
     ExperimentConfig ec = benchutil::configFromEnv(DvfsKind::XScale);
     auto rows = benchutil::runMatrix(ec);
     benchutil::printFigure(
@@ -29,5 +30,7 @@ main()
     std::printf(
         "\nPaper reference: baseline MCD < 4%% avg; dynamic-5%% ~10%%; "
         "global matched to dynamic-5%%.\n");
+    if (std::getenv("MCD_TOURNAMENT"))
+        benchutil::printLeaderboard(rows);
     return benchutil::finish(rows);
 }

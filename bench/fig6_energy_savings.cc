@@ -16,8 +16,9 @@
 using namespace mcd;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::parseFigureArgs(argc, argv);
     ExperimentConfig ec = benchutil::configFromEnv(DvfsKind::XScale);
     auto rows = benchutil::runMatrix(ec);
     benchutil::printFigure(
@@ -28,5 +29,7 @@ main()
     std::printf(
         "\nPaper reference: dynamic-5%% ~27%% avg; global < 12%% avg; "
         "MCD baseline ~-1.5%%.\n");
+    if (std::getenv("MCD_TOURNAMENT"))
+        benchutil::printLeaderboard(rows);
     return benchutil::finish(rows);
 }

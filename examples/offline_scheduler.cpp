@@ -41,8 +41,8 @@ main(int argc, char **argv)
             model = *k;
         } else {
             std::fprintf(stderr, "unknown DVFS model '%s' "
-                         "(expected xscale, transmeta, or none)\n",
-                         argv[3]);
+                         "(expected one of: %s)\n",
+                         argv[3], dvfsKindNames().c_str());
             return 1;
         }
     }

@@ -42,6 +42,19 @@ dvfsKindFromName(std::string_view name)
     return std::nullopt;
 }
 
+std::string
+dvfsKindNames()
+{
+    std::string out;
+    for (DvfsKind k : {DvfsKind::None, DvfsKind::Transmeta,
+                       DvfsKind::XScale}) {
+        if (!out.empty())
+            out += ", ";
+        out += dvfsKindName(k);
+    }
+    return out;
+}
+
 DvfsParams
 DvfsParams::transmeta(double time_scale)
 {

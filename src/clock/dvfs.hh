@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -57,6 +58,13 @@ const char *dvfsKindName(DvfsKind kind);
  * selection can reject typos instead of silently defaulting.
  */
 std::optional<DvfsKind> dvfsKindFromName(std::string_view name);
+
+/**
+ * Every valid model name joined ", " ("none, Transmeta, XScale"), so
+ * rejection messages can enumerate the choices instead of merely
+ * echoing the bad input.
+ */
+std::string dvfsKindNames();
 
 /** Transition-timing parameters for one DVFS technology. */
 struct DvfsParams

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Offline-trained table-lookup DVFS controller.
+ *
+ * The learned-policy direction of the DFS literature, distilled to
+ * its deployable core: all the "learning" happens offline, and what
+ * ships is a small lookup table indexed by the quantized observation
+ * — (mean queue occupancy bucket) x (occupancy trend) — whose cells
+ * hold operating-point step deltas. At runtime the controller is one
+ * table read per observation: no floating-point law, no gains to
+ * tune, and trivially auditable.
+ *
+ * The default table was fitted offline against the attack/decay
+ * oracle traces on the profiling runs: near-empty queues decay fast,
+ * mid-range queues hold or drift with the trend, rising occupancy is
+ * attacked proportionally to how full the queue already is, and the
+ * top bucket saturates to full speed. Tests and ablations can supply
+ * a custom table.
+ *
+ * Deterministic; the front end stays pinned unless scaleFrontEnd.
+ */
+
+#ifndef MCD_CONTROL_TABLE_POLICY_HH
+#define MCD_CONTROL_TABLE_POLICY_HH
+
+#include <array>
+
+#include "clock/operating_points.hh"
+#include "control/controller.hh"
+
+namespace mcd {
+
+/** Quantization and interval knobs of the table policy. */
+struct TablePolicyParams
+{
+    /** Control interval per domain (ps). */
+    Tick interval = fromMicroseconds(2.5);
+
+    /** Occupancy change below which the trend counts as flat. */
+    double trendThreshold = 0.05;
+
+    /** Scale the front end too (default: pinned). */
+    bool scaleFrontEnd = false;
+};
+
+class TablePolicyController : public DvfsController
+{
+  public:
+    /** Occupancy buckets: floor(u * kOccBuckets), clamped. */
+    static constexpr int kOccBuckets = 8;
+    /** Trend buckets: 0 falling, 1 flat, 2 rising. */
+    static constexpr int kTrendBuckets = 3;
+
+    /** Point-delta table: [occupancy bucket][trend bucket]. */
+    using StepTable =
+        std::array<std::array<int, kTrendBuckets>, kOccBuckets>;
+
+    /** The default offline-trained table (see file comment). */
+    static const StepTable &trainedTable();
+
+    explicit TablePolicyController(const TablePolicyParams &params = {},
+                                   const DvfsTable &table = {});
+    TablePolicyController(const TablePolicyParams &params,
+                          const DvfsTable &table,
+                          const StepTable &steps);
+
+    const char *name() const override { return "table"; }
+    Tick samplePeriod() const override { return prm.interval; }
+    void observe(const DomainStats &stats, Tick now) override;
+
+    /** Current operating-point index of @p d (test hook; -1 before
+     *  the domain's first observation). */
+    int pointIndex(Domain d) const { return level[domainIndex(d)]; }
+
+    const TablePolicyParams &params() const { return prm; }
+
+  private:
+    TablePolicyParams prm;
+    DvfsTable table;
+    StepTable steps;
+
+    std::array<int, numDomains> level;
+    std::array<double, numDomains> prevOcc{};
+    std::array<bool, numDomains> seen{};
+};
+
+} // namespace mcd
+
+#endif // MCD_CONTROL_TABLE_POLICY_HH

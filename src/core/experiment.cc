@@ -1,7 +1,6 @@
 #include "experiment.hh"
 
 #include <algorithm>
-#include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -15,25 +14,16 @@
 
 #include <unistd.h>
 
+#include "clock/operating_points.hh"
 #include "common/log.hh"
+#include "control/registry.hh"
 #include "workloads/workloads.hh"
 
 namespace mcd {
 
-namespace expcache {
-
-// v2: adds the trailing "end" sentinel so truncated files are always
-// rejected (whitespace-delimited numbers could otherwise parse a
-// shortened final value as valid).
-// v3: adds the online-controller run as a sixth record.
-// v4: adds a trailing FNV-1a checksum line over the whole payload so
-// silent corruption anywhere (not just truncation) is detected and
-// the file can be quarantined instead of trusted.
-const char *const version = "mcd-cache-v4";
-
 namespace {
 
-/** FNV-1a 64-bit over the serialized payload. */
+/** FNV-1a 64-bit (cache payload checksum and leg-set key hash). */
 std::uint64_t
 fnv1a(std::string_view s)
 {
@@ -45,11 +35,137 @@ fnv1a(std::string_view s)
     return h;
 }
 
-void
-writeRun(std::ostream &os, const char *tag, const RunResult &r)
+const char *
+legKindName(LegSpec::Kind k)
 {
-    os << std::setprecision(17);
-    os << tag << ' ' << r.execTime << ' ' << r.committed << ' '
+    switch (k) {
+      case LegSpec::Kind::ScheduleReplay: return "schedule-replay";
+      case LegSpec::Kind::GlobalSearch: return "global-search";
+      case LegSpec::Kind::Controller: return "controller";
+    }
+    return "?";
+}
+
+/**
+ * Visit every run of a row in canonical order: the two fixed
+ * reference runs, then the leg vector. @p f is called with
+ * (name, run).
+ */
+template <typename F>
+void
+forEachRun(const BenchmarkResults &r, F &&f)
+{
+    f(std::string("baseline"), r.baseline);
+    f(std::string("mcdBaseline"), r.mcdBaseline);
+    for (const ControllerLeg &l : r.legs)
+        f(l.spec.name, l.run);
+}
+
+} // namespace
+
+LegSpec
+LegSpec::scheduleReplay(std::string name, double dilation,
+                        std::string display)
+{
+    LegSpec l;
+    l.display = display.empty() ? name : std::move(display);
+    l.name = std::move(name);
+    l.kind = Kind::ScheduleReplay;
+    l.dilation = dilation;
+    return l;
+}
+
+LegSpec
+LegSpec::globalSearch(std::string name, std::string reference,
+                      std::string display)
+{
+    LegSpec l;
+    l.display = display.empty() ? name : std::move(display);
+    l.name = std::move(name);
+    l.kind = Kind::GlobalSearch;
+    l.reference = std::move(reference);
+    return l;
+}
+
+LegSpec
+LegSpec::controllerLeg(std::string name, std::string controller,
+                       std::string params, std::string display)
+{
+    LegSpec l;
+    l.display = display.empty() ? name : std::move(display);
+    l.name = std::move(name);
+    l.kind = Kind::Controller;
+    l.controller = std::move(controller);
+    l.params = std::move(params);
+    return l;
+}
+
+std::string
+LegSpec::keyToken() const
+{
+    // display is presentation-only; everything else shapes the run.
+    switch (kind) {
+      case Kind::ScheduleReplay: {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), ":r%.6f", dilation);
+        return name + buf;
+      }
+      case Kind::GlobalSearch:
+        return name + ":g:" + reference;
+      case Kind::Controller:
+        return name + ":c:" + controller + ":" + params;
+    }
+    return name;
+}
+
+std::vector<LegSpec>
+defaultLegs(const ExperimentConfig &cfg)
+{
+    std::vector<LegSpec> out;
+    out.push_back(LegSpec::scheduleReplay("dyn1", cfg.dilationLow,
+                                          "dynamic-1%"));
+    out.push_back(LegSpec::scheduleReplay("dyn5", cfg.dilationHigh,
+                                          "dynamic-5%"));
+    out.push_back(LegSpec::globalSearch("global", "dyn5"));
+    out.push_back(LegSpec::controllerLeg("online", "online-queue", "",
+                                         "online"));
+    return out;
+}
+
+std::vector<LegSpec>
+tournamentLegs(const ExperimentConfig &cfg)
+{
+    std::vector<LegSpec> out;
+    // The dyn5 schedule-replay oracle anchors the field: it has seen
+    // the future (the profiling trace), so a controller beating it
+    // would be suspicious, not impressive.
+    out.push_back(LegSpec::scheduleReplay("dyn5", cfg.dilationHigh,
+                                          "dynamic-5%"));
+    for (const std::string &n : ControllerRegistry::instance().names())
+        out.push_back(LegSpec::controllerLeg(n, n));
+    return out;
+}
+
+namespace expcache {
+
+// v2: adds the trailing "end" sentinel so truncated files are always
+// rejected (whitespace-delimited numbers could otherwise parse a
+// shortened final value as valid).
+// v3: adds the online-controller run as a sixth record.
+// v4: adds a trailing FNV-1a checksum line over the whole payload so
+// silent corruption anywhere (not just truncation) is detected and
+// the file can be quarantined instead of trusted.
+// v5: replaces the fixed six-record layout with a leg count in the
+// header and one named "leg" record per dynamic-control leg, so any
+// registered controller's results cache alongside the built-ins.
+const char *const version = "mcd-cache-v5";
+
+namespace {
+
+void
+writeRunBody(std::ostream &os, const RunResult &r)
+{
+    os << ' ' << r.execTime << ' ' << r.committed << ' '
        << r.ipc << ' ' << r.totalEnergy << ' ' << r.energyDelay;
     for (int d = 0; d < numDomains; ++d) {
         const DomainSummary &s = r.domains[d];
@@ -61,11 +177,8 @@ writeRun(std::ostream &os, const char *tag, const RunResult &r)
 }
 
 bool
-readRun(std::istream &is, const char *tag, RunResult &r)
+readRunBody(std::istream &is, RunResult &r)
 {
-    std::string t;
-    if (!(is >> t) || t != tag)
-        return false;
     if (!(is >> r.execTime >> r.committed >> r.ipc >> r.totalEnergy >>
           r.energyDelay)) {
         return false;
@@ -80,6 +193,15 @@ readRun(std::istream &is, const char *tag, RunResult &r)
     return true;
 }
 
+bool
+readRun(std::istream &is, const char *tag, RunResult &r)
+{
+    std::string t;
+    if (!(is >> t) || t != tag)
+        return false;
+    return readRunBody(is, r);
+}
+
 } // namespace
 
 void
@@ -88,14 +210,15 @@ write(std::ostream &os, const BenchmarkResults &r)
     std::ostringstream payload;
     payload << std::setprecision(17);
     payload << version << '\n'
-            << r.globalFrequency << ' ' << r.schedule1Size << ' '
-            << r.schedule5Size << '\n';
-    writeRun(payload, "baseline", r.baseline);
-    writeRun(payload, "mcd", r.mcdBaseline);
-    writeRun(payload, "dyn1", r.dyn1);
-    writeRun(payload, "dyn5", r.dyn5);
-    writeRun(payload, "global", r.global);
-    writeRun(payload, "online", r.online);
+            << r.globalFrequency << ' ' << r.legs.size() << '\n';
+    payload << "baseline";
+    writeRunBody(payload, r.baseline);
+    payload << "mcd";
+    writeRunBody(payload, r.mcdBaseline);
+    for (const ControllerLeg &l : r.legs) {
+        payload << "leg " << l.spec.name << ' ' << l.scheduleSize;
+        writeRunBody(payload, l.run);
+    }
     payload << "end\n";
 
     std::string text = payload.str();
@@ -140,15 +263,26 @@ read(std::istream &is, const std::string &name)
         return std::nullopt;
     BenchmarkResults r;
     r.name = name;
-    if (!(in >> r.globalFrequency >> r.schedule1Size >> r.schedule5Size))
+    std::size_t numLegs = 0;
+    if (!(in >> r.globalFrequency >> numLegs))
         return std::nullopt;
+    if (numLegs > 1000)
+        return std::nullopt;    // implausible; refuse to allocate
     if (!readRun(in, "baseline", r.baseline) ||
-        !readRun(in, "mcd", r.mcdBaseline) ||
-        !readRun(in, "dyn1", r.dyn1) ||
-        !readRun(in, "dyn5", r.dyn5) ||
-        !readRun(in, "global", r.global) ||
-        !readRun(in, "online", r.online)) {
+        !readRun(in, "mcd", r.mcdBaseline)) {
         return std::nullopt;
+    }
+    r.legs.reserve(numLegs);
+    for (std::size_t i = 0; i < numLegs; ++i) {
+        std::string t;
+        if (!(in >> t) || t != "leg")
+            return std::nullopt;
+        ControllerLeg leg;
+        if (!(in >> leg.spec.name >> leg.scheduleSize))
+            return std::nullopt;
+        if (!readRunBody(in, leg.run))
+            return std::nullopt;
+        r.legs.push_back(std::move(leg));
     }
     std::string sentinel;
     if (!(in >> sentinel) || sentinel != "end")
@@ -159,21 +293,6 @@ read(std::istream &is, const std::string &name)
 } // namespace expcache
 
 namespace {
-
-/** The six matrix legs of one row, in canonical order. */
-struct LegRef
-{
-    const char *tag;
-    const RunResult *run;
-};
-
-std::array<LegRef, 6>
-legs(const BenchmarkResults &r)
-{
-    return {{{"baseline", &r.baseline}, {"mcdBaseline", &r.mcdBaseline},
-             {"dyn1", &r.dyn1}, {"dyn5", &r.dyn5},
-             {"global", &r.global}, {"online", &r.online}}};
-}
 
 /** Emit one RunResult as a JSON object. */
 void
@@ -238,12 +357,41 @@ jsonRun(std::ostream &os, const char *indent, const RunResult &r)
 
 } // namespace
 
+const ControllerLeg *
+BenchmarkResults::findLeg(std::string_view leg) const
+{
+    for (const ControllerLeg &l : legs) {
+        if (l.spec.name == leg)
+            return &l;
+    }
+    return nullptr;
+}
+
+const RunResult &
+BenchmarkResults::leg(std::string_view leg) const
+{
+    const ControllerLeg *l = findLeg(leg);
+    if (!l) {
+        fatal("BenchmarkResults: no leg named '" + std::string(leg) +
+              "' in row '" + name + "'");
+    }
+    return l->run;
+}
+
+std::size_t
+BenchmarkResults::scheduleSize(std::string_view leg) const
+{
+    const ControllerLeg *l = findLeg(leg);
+    return l ? l->scheduleSize : 0;
+}
+
 std::size_t
 BenchmarkResults::failedLegs() const
 {
     std::size_t n = 0;
-    for (const LegRef &l : legs(*this))
-        n += l.run->failed() ? 1 : 0;
+    forEachRun(*this, [&](const std::string &, const RunResult &run) {
+        n += run.failed() ? 1 : 0;
+    });
     return n;
 }
 
@@ -253,7 +401,7 @@ matrixExitCode(const std::vector<BenchmarkResults> &rows)
     std::size_t failed = 0;
     std::size_t total = 0;
     for (const BenchmarkResults &r : rows) {
-        total += 6;
+        total += r.totalLegs();
         failed += r.failedLegs();
     }
     if (!failed)
@@ -284,6 +432,59 @@ ExperimentConfig::validate() const
         fatal("ExperimentConfig: online.interval must be > 0");
     if (sampling)
         sampling->validate();
+
+    // Leg-set validation (an empty vector means "defaults", resolved
+    // by the runner or runMatrix; the defaults pass by construction).
+    for (std::size_t i = 0; i < legs.size(); ++i) {
+        const LegSpec &l = legs[i];
+        if (l.name.empty() ||
+            l.name.find_first_not_of("abcdefghijklmnopqrstuvwxyz"
+                                     "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+                                     "0123456789_.-") !=
+                std::string::npos) {
+            fatal("ExperimentConfig: invalid leg name '" + l.name +
+                  "' (use [A-Za-z0-9_.-]+)");
+        }
+        if (l.name == "baseline" || l.name == "mcdBaseline")
+            fatal("ExperimentConfig: leg name '" + l.name +
+                  "' is reserved for the fixed reference runs");
+        for (std::size_t j = 0; j < i; ++j) {
+            if (legs[j].name == l.name)
+                fatal("ExperimentConfig: duplicate leg name '" +
+                      l.name + "'");
+        }
+        switch (l.kind) {
+          case LegSpec::Kind::ScheduleReplay:
+            dilation(l.dilation, ("leg '" + l.name + "' dilation")
+                     .c_str());
+            break;
+          case LegSpec::Kind::GlobalSearch: {
+            bool found = false;
+            for (const LegSpec &o : legs) {
+                if (o.name == l.reference &&
+                    o.kind != LegSpec::Kind::GlobalSearch) {
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                fatal("ExperimentConfig: leg '" + l.name +
+                      "' references '" + l.reference +
+                      "', which is not a non-search leg in the set");
+            }
+            break;
+          }
+          case LegSpec::Kind::Controller: {
+            // Dry-build the controller so an unknown name (the fatal
+            // enumerates the registered ones) or a malformed param
+            // spec aborts the matrix up front, not mid-run.
+            ControllerContext ctx{DvfsTable{}, seed, online};
+            ControllerRegistry::instance().make(l.controller, ctx,
+                                                l.params);
+            break;
+          }
+        }
+    }
 }
 
 void
@@ -312,37 +513,40 @@ writeResultsJson(std::ostream &os, const ExperimentConfig &cfg,
            << "      \"name\": \"" << r.name << "\",\n"
            << "      \"globalFrequencyHz\": " << r.globalFrequency
            << ",\n"
-           << "      \"schedule1Size\": " << r.schedule1Size << ",\n"
-           << "      \"schedule5Size\": " << r.schedule5Size << ",\n"
+        // The legacy schedule-size keys survive the leg refactor so
+        // documents from the default leg set stay byte-identical.
+           << "      \"schedule1Size\": " << r.scheduleSize("dyn1")
+           << ",\n"
+           << "      \"schedule5Size\": " << r.scheduleSize("dyn5")
+           << ",\n"
            << "      \"runs\": {\n";
-        struct { const char *tag; const RunResult *run; } runs[] = {
-            {"baseline", &r.baseline}, {"mcdBaseline", &r.mcdBaseline},
-            {"dyn1", &r.dyn1}, {"dyn5", &r.dyn5},
-            {"global", &r.global}, {"online", &r.online},
-        };
-        for (std::size_t i = 0; i < std::size(runs); ++i) {
-            os << "        \"" << runs[i].tag << "\": ";
-            jsonRun(os, "        ", *runs[i].run);
-            os << (i + 1 < std::size(runs) ? ",\n" : "\n");
-        }
+        const std::size_t total = r.totalLegs();
+        std::size_t idx = 0;
+        forEachRun(r, [&](const std::string &tag, const RunResult &run) {
+            os << "        \"" << obs::jsonEscape(tag) << "\": ";
+            jsonRun(os, "        ", run);
+            os << (++idx < total ? ",\n" : "\n");
+        });
         os << "      },\n"
            << "      \"derived\": {";
         // Derived metrics are ratios against the baseline leg, so a
         // failed run (all-zero numerics) or a failed baseline would
         // emit nonsense (inf/nan is not even valid JSON) — skip them.
         bool firstDerived = true;
-        for (std::size_t i = 1; i < std::size(runs); ++i) {
-            const RunResult &run = *runs[i].run;
+        auto derived = [&](const std::string &tag, const RunResult &run) {
             if (run.failed() || r.baseline.failed())
-                continue;
+                return;
             os << (firstDerived ? "" : ",") << "\n"
-               << "        \"" << runs[i].tag << "\": {"
+               << "        \"" << obs::jsonEscape(tag) << "\": {"
                << "\"perfDegradation\": " << r.perfDegradation(run)
                << ", \"energySavings\": " << r.energySavings(run)
                << ", \"edpImprovement\": " << r.edpImprovement(run)
                << "}";
             firstDerived = false;
-        }
+        };
+        derived("mcdBaseline", r.mcdBaseline);
+        for (const ControllerLeg &l : r.legs)
+            derived(l.spec.name, l.run);
         os << "\n      }\n    }";
         firstRow = false;
     }
@@ -357,33 +561,108 @@ writeResultsJson(std::ostream &os, const ExperimentConfig &cfg,
         os << ",\n  \"failures\": [";
         bool first = true;
         for (const BenchmarkResults &r : rows) {
-            for (const LegRef &l : legs(r)) {
-                if (!l.run->failed())
-                    continue;
-                const RunError &e = *l.run->error;
+            forEachRun(r, [&](const std::string &tag,
+                              const RunResult &run) {
+                if (!run.failed())
+                    return;
+                const RunError &e = *run.error;
                 os << (first ? "" : ",") << "\n    {"
                    << "\"benchmark\": \"" << obs::jsonEscape(r.name)
-                   << "\", \"leg\": \"" << l.tag
+                   << "\", \"leg\": \"" << obs::jsonEscape(tag)
                    << "\", \"kind\": \"" << obs::jsonEscape(e.kind)
                    << "\", \"attempts\": " << e.attempts
                    << ", \"message\": \"" << obs::jsonEscape(e.message)
                    << "\"}";
                 first = false;
-            }
+            });
         }
         os << "\n  ],\n  \"exitCode\": " << matrixExitCode(rows);
     }
     os << "\n}\n";
 }
 
+std::vector<LeaderboardRow>
+computeLeaderboard(const std::vector<BenchmarkResults> &rows)
+{
+    std::vector<LeaderboardRow> out;
+    if (rows.empty())
+        return out;
+    // The leg set is uniform across rows (one config per matrix), so
+    // the first row names the contenders.
+    for (const ControllerLeg &contender : rows[0].legs) {
+        LeaderboardRow lr;
+        lr.spec = contender.spec;
+        double edp = 0.0, energy = 0.0, perf = 0.0;
+        for (const BenchmarkResults &r : rows) {
+            const ControllerLeg *l = r.findLeg(contender.spec.name);
+            if (!l)
+                continue;
+            if (l->run.failed() || r.baseline.failed()) {
+                ++lr.failed;
+                continue;
+            }
+            ++lr.completed;
+            edp += r.edpImprovement(l->run);
+            energy += r.energySavings(l->run);
+            perf += r.perfDegradation(l->run);
+        }
+        if (lr.completed) {
+            lr.meanEdpImprovement = edp / lr.completed;
+            lr.meanEnergySavings = energy / lr.completed;
+            lr.meanPerfDegradation = perf / lr.completed;
+        }
+        out.push_back(std::move(lr));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const LeaderboardRow &a, const LeaderboardRow &b) {
+                  if (a.meanEdpImprovement != b.meanEdpImprovement)
+                      return a.meanEdpImprovement > b.meanEdpImprovement;
+                  return a.spec.name < b.spec.name;
+              });
+    return out;
+}
+
+void
+writeLeaderboardJson(std::ostream &os, const ExperimentConfig &cfg,
+                     const std::vector<BenchmarkResults> &rows)
+{
+    std::vector<LeaderboardRow> board = computeLeaderboard(rows);
+    os << std::setprecision(17);
+    os << "{\n"
+       << "  \"tournament\": {\n"
+       << "    \"benchmarks\": " << rows.size() << ",\n"
+       << "    \"legs\": " << board.size() << ",\n"
+       << "    \"model\": \"" << dvfsKindName(cfg.model) << "\",\n"
+       << "    \"scale\": " << cfg.scale << ",\n"
+       << "    \"seed\": " << cfg.seed << "\n"
+       << "  },\n"
+       << "  \"leaderboard\": [";
+    for (std::size_t i = 0; i < board.size(); ++i) {
+        const LeaderboardRow &lr = board[i];
+        os << (i ? "," : "") << "\n    {"
+           << "\"rank\": " << i + 1
+           << ", \"name\": \"" << obs::jsonEscape(lr.spec.name)
+           << "\", \"kind\": \"" << legKindName(lr.spec.kind)
+           << "\", \"controller\": \""
+           << obs::jsonEscape(lr.spec.controller)
+           << "\", \"params\": \"" << obs::jsonEscape(lr.spec.params)
+           << "\", \"meanEdpImprovement\": " << lr.meanEdpImprovement
+           << ", \"meanEnergySavings\": " << lr.meanEnergySavings
+           << ", \"meanPerfDegradation\": " << lr.meanPerfDegradation
+           << ", \"benchmarksCompleted\": " << lr.completed
+           << ", \"benchmarksFailed\": " << lr.failed << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
 std::vector<NamedRun>
 namedRuns(const std::vector<BenchmarkResults> &rows)
 {
     std::vector<NamedRun> out;
-    out.reserve(rows.size() * 6);
     for (const BenchmarkResults &row : rows) {
-        for (const LegRef &l : legs(row))
-            out.push_back({row.name + "/" + l.tag, l.run});
+        forEachRun(row, [&](const std::string &tag, const RunResult &run) {
+            out.push_back({row.name + "/" + tag, &run});
+        });
     }
     return out;
 }
@@ -438,7 +717,10 @@ writeTelemetryTrace(std::ostream &os, const std::vector<NamedRun> &runs)
 
 ExperimentRunner::ExperimentRunner(ExperimentConfig cfg)
     : config(std::move(cfg))
-{}
+{
+    if (config.legs.empty())
+        config.legs = defaultLegs(config);
+}
 
 SimConfig
 ExperimentRunner::makeSimConfig(ClockingStyle style,
@@ -483,6 +765,23 @@ ExperimentRunner::cacheKey(const std::string &name) const
                   oq.idleWater, oq.scaleFrontEnd ? 1 : 0,
                   static_cast<unsigned long long>(config.seed));
     std::string key = buf;
+    // The leg set shapes every cached record, so two matrices with
+    // different legs (or the same leg names with different params)
+    // must never share a file: fold a hash of the full leg-spec set
+    // plus the leg count into the key.
+    {
+        std::string tokens;
+        for (const LegSpec &l : config.legs) {
+            tokens += l.keyToken();
+            tokens += '|';
+        }
+        char legBuf[48];
+        std::snprintf(legBuf, sizeof(legBuf), "-L%016llx-n%llu",
+                      static_cast<unsigned long long>(fnv1a(tokens)),
+                      static_cast<unsigned long long>(
+                          config.legs.size()));
+        key += legBuf;
+    }
     // Sampled matrices are never cached (see loadCache/storeCache),
     // but fold the operating point into the key anyway so a sampled
     // and a full-detail matrix can never collide even if the bypass
@@ -541,8 +840,22 @@ ExperimentRunner::loadCache(const std::string &name) const
         return std::nullopt;
     in.clear();
     in.seekg(0);
-    if (auto cached = expcache::read(in, name))
+    if (auto cached = expcache::read(in, name)) {
+        // Belt and braces: the key already hashes the leg set, but
+        // verify the record's leg names anyway; a mismatch means a
+        // hash collision or hand-edited file — recompute silently.
+        if (cached->legs.size() != config.legs.size())
+            return std::nullopt;
+        for (std::size_t i = 0; i < config.legs.size(); ++i) {
+            if (cached->legs[i].spec.name != config.legs[i].name)
+                return std::nullopt;
+        }
+        // Cache records carry only the leg name; rehydrate the full
+        // specs (kind, display, params) from the live config.
+        for (std::size_t i = 0; i < config.legs.size(); ++i)
+            cached->legs[i].spec = config.legs[i];
         return cached;
+    }
     in.close();
 
     // Quarantine: move the bad bytes aside (kept for inspection) so
@@ -617,17 +930,20 @@ ExperimentRunner::profileLeg(const Program &prog,
 }
 
 RunResult
-ExperimentRunner::onlineLeg(const Program &prog,
-                            const std::string &site) const
+ExperimentRunner::controllerLeg(const Program &prog, const LegSpec &leg,
+                                const std::string &site) const
 {
-    // Online control: MCD clocking with the attack/decay controller
-    // instead of an offline schedule. Seeded from the experiment seed
-    // so the leg is reproducible and job-count independent.
+    // A registry-built controller drives MCD clocking at runtime.
+    // Seeded from the experiment seed so the leg is reproducible and
+    // job-count independent.
     SimConfig sc = makeSimConfig(ClockingStyle::Mcd, site);
     sc.dvfs = config.model;
     sc.dvfsTimeScale = config.dvfsTimeScale;
-    OnlineQueueController ctrl(config.online, DvfsTable{}, config.seed);
-    sc.controller = &ctrl;
+    ControllerContext ctx{DvfsTable{}, config.seed, config.online};
+    std::unique_ptr<DvfsController> ctrl =
+        ControllerRegistry::instance().make(leg.controller, ctx,
+                                            leg.params);
+    sc.controller = ctrl.get();
     return runOnce(prog, sc);
 }
 
@@ -650,25 +966,28 @@ ExperimentRunner::dynamicLeg(const Program &prog,
     return leg;
 }
 
-void
-ExperimentRunner::globalLeg(const Program &prog, BenchmarkResults &r) const
+ExperimentRunner::GlobalOut
+ExperimentRunner::globalLeg(const Program &prog,
+                            const BenchmarkResults &r,
+                            const RunResult &reference,
+                            const std::string &site) const
 {
     // Global voltage scaling: single clock at the table frequency
-    // whose degradation best matches dynamic-5% (paper Section 4).
-    double target = r.perfDegradation(r.dyn5);
+    // whose degradation best matches the reference leg (paper
+    // Section 4; dynamic-5% in the default matrix).
+    double target = r.perfDegradation(reference);
     DvfsTable table;
     int lo = 0;
     int hi = table.numPoints() - 1;
     // Degradation decreases monotonically with frequency: find the
     // slowest point whose degradation does not exceed the target.
-    RunResult bestRun;
-    Hertz bestFreq = table.fastest().frequency;
+    GlobalOut best;
+    best.frequency = table.fastest().frequency;
     double bestDist = 1e300;
     while (lo <= hi) {
         int mid = (lo + hi) / 2;
         Hertz f = table.point(mid).frequency;
-        SimConfig sc = makeSimConfig(ClockingStyle::SingleClock,
-                                     r.name + "/global");
+        SimConfig sc = makeSimConfig(ClockingStyle::SingleClock, site);
         sc.domainFrequency = {f, f, f, f};
         sc.mem.dramScalesWithClock = true;
         RunResult res = runOnce(prog, sc);
@@ -676,16 +995,15 @@ ExperimentRunner::globalLeg(const Program &prog, BenchmarkResults &r) const
         double dist = std::fabs(deg - target);
         if (dist < bestDist) {
             bestDist = dist;
-            bestRun = res;
-            bestFreq = f;
+            best.result = res;
+            best.frequency = f;
         }
         if (deg > target)
             lo = mid + 1;   // too slow; raise frequency
         else
             hi = mid - 1;   // within target; try slower
     }
-    r.global = bestRun;
-    r.globalFrequency = bestFreq;
+    return best;
 }
 
 ExperimentRunner::DynamicRun
@@ -717,7 +1035,8 @@ ExperimentRunner::runDynamic(const std::string &name,
 }
 
 RunResult
-ExperimentRunner::runGuarded(const std::string &bench, const char *leg,
+ExperimentRunner::runGuarded(const std::string &bench,
+                             const std::string &leg,
                              const std::function<RunResult()> &body) const
 {
     const std::string site = bench + "/" + leg;
@@ -762,14 +1081,14 @@ ExperimentRunner::runGuarded(const std::string &bench, const char *leg,
 
 RunResult
 ExperimentRunner::dependencyFailed(const std::string &bench,
-                                   const char *leg,
-                                   const char *upstream) const
+                                   const std::string &leg,
+                                   const std::string &upstream) const
 {
     RunResult r;
     r.benchmark = bench;
     r.attempts = 0;     // never attempted
     r.error = RunError{bench + "/" + leg, "dependency",
-                       std::string(upstream) + " leg failed", 0};
+                       upstream + " leg failed", 0};
     return r;
 }
 
@@ -790,6 +1109,9 @@ ExperimentRunner::runBenchmark(const std::string &name, ThreadPool &pool)
 
     BenchmarkResults r;
     r.name = name;
+    r.legs.reserve(config.legs.size());
+    for (const LegSpec &spec : config.legs)
+        r.legs.push_back({spec, RunResult{}, 0});
 
     const Program prog = workloads::build(name, config.scale);
 
@@ -797,9 +1119,12 @@ ExperimentRunner::runBenchmark(const std::string &name, ThreadPool &pool)
     // a leg never throws across the pool boundary, so one dead leg
     // can neither abort the matrix nor strand sibling tasks that
     // still reference this frame's prog/trace.
+    //
+    // r.legs is fully sized above and never resized again, so element
+    // pointers handed to lambdas stay valid for the frame's lifetime.
 
-    // Leg 1 — singly clocked baseline — is independent of everything
-    // else; run it concurrently with the profiling leg.
+    // The singly clocked baseline is independent of everything else;
+    // run it concurrently with the profiling leg.
     auto baseFut = pool.submit([this, &name, &prog] {
         return runGuarded(name, "baseline", [&] {
             return runOnce(prog,
@@ -808,15 +1133,36 @@ ExperimentRunner::runBenchmark(const std::string &name, ThreadPool &pool)
         });
     });
 
-    // Leg 1b — the online controller needs neither the trace nor the
-    // baseline; fully independent.
-    auto onlineFut = pool.submit([this, &name, &prog] {
-        return runGuarded(name, "online", [&] {
-            return onlineLeg(prog, name + "/online");
-        });
-    });
+    // Controller legs need neither the trace nor the baseline; fully
+    // independent, so they fan out first.
+    struct CtrlFut
+    {
+        std::size_t idx;
+        std::future<RunResult> fut;
+        bool settled = false;
+    };
+    std::vector<CtrlFut> ctrlFuts;
+    for (std::size_t i = 0; i < r.legs.size(); ++i) {
+        const LegSpec *spec = &r.legs[i].spec;
+        if (spec->kind != LegSpec::Kind::Controller)
+            continue;
+        ctrlFuts.push_back({i, pool.submit([this, &name, &prog, spec] {
+            return runGuarded(name, spec->name, [&] {
+                return controllerLeg(prog, *spec,
+                                     name + "/" + spec->name);
+            });
+        })});
+    }
+    auto settleController = [&](const std::string &legName) {
+        for (CtrlFut &cf : ctrlFuts) {
+            if (!cf.settled && r.legs[cf.idx].spec.name == legName) {
+                r.legs[cf.idx].run = pool.wait(cf.fut);
+                cf.settled = true;
+            }
+        }
+    };
 
-    // Leg 2 — baseline MCD / profiling run (produces the trace).
+    // Baseline MCD / profiling run (produces the trace).
     std::vector<InstTrace> trace;
     auto profFut = pool.submit([this, &name, &prog, &trace] {
         return runGuarded(name, "mcdBaseline", [&] {
@@ -825,53 +1171,70 @@ ExperimentRunner::runBenchmark(const std::string &name, ThreadPool &pool)
     });
     r.mcdBaseline = pool.wait(profFut);
 
-    if (r.mcdBaseline.failed()) {
-        // No profiling trace: the offline tool has nothing to chew on.
-        r.dyn1 = dependencyFailed(name, "dyn1", "mcdBaseline");
-        r.dyn5 = dependencyFailed(name, "dyn5", "mcdBaseline");
-    } else {
-        // Legs 3a/3b — the two dynamic configurations analyze and
-        // simulate independently off the shared (now read-only)
-        // trace. The schedule sizes ride out via per-leg locals each
-        // written only before its lambda returns (i.e. before wait()
-        // synchronizes with it).
-        std::size_t sched1 = 0;
-        std::size_t sched5 = 0;
-        auto dyn1Fut = pool.submit([this, &name, &prog, &trace, &sched1] {
-            return runGuarded(name, "dyn1", [&] {
-                DynLeg leg = dynamicLeg(prog, trace, config.dilationLow,
-                                        name + "/dyn1");
-                sched1 = leg.scheduleSize;
-                return leg.result;
-            });
-        });
-        auto dyn5Fut = pool.submit([this, &name, &prog, &trace, &sched5] {
-            return runGuarded(name, "dyn5", [&] {
-                DynLeg leg = dynamicLeg(prog, trace, config.dilationHigh,
-                                        name + "/dyn5");
-                sched5 = leg.scheduleSize;
-                return leg.result;
-            });
-        });
-        r.dyn1 = pool.wait(dyn1Fut);
-        r.dyn5 = pool.wait(dyn5Fut);
-        r.schedule1Size = sched1;
-        r.schedule5Size = sched5;
+    // Schedule-replay legs analyze and simulate independently off the
+    // shared (now read-only) trace. The schedule sizes ride out via
+    // the pre-sized vector, each slot written only before its lambda
+    // returns (i.e. before wait() synchronizes with it).
+    std::vector<std::size_t> schedSizes(r.legs.size(), 0);
+    std::vector<std::pair<std::size_t, std::future<RunResult>>>
+        replayFuts;
+    for (std::size_t i = 0; i < r.legs.size(); ++i) {
+        const LegSpec *spec = &r.legs[i].spec;
+        if (spec->kind != LegSpec::Kind::ScheduleReplay)
+            continue;
+        if (r.mcdBaseline.failed()) {
+            // No profiling trace: the offline tool has nothing to
+            // chew on.
+            r.legs[i].run = dependencyFailed(name, spec->name,
+                                             "mcdBaseline");
+            continue;
+        }
+        replayFuts.emplace_back(
+            i, pool.submit([this, &name, &prog, &trace, &schedSizes,
+                            spec, i] {
+                return runGuarded(name, spec->name, [&] {
+                    DynLeg leg = dynamicLeg(prog, trace, spec->dilation,
+                                            name + "/" + spec->name);
+                    schedSizes[i] = leg.scheduleSize;
+                    return leg.result;
+                });
+            }));
+    }
+    for (auto &[idx, fut] : replayFuts) {
+        r.legs[idx].run = pool.wait(fut);
+        r.legs[idx].scheduleSize = schedSizes[idx];
     }
 
-    // Leg 4 — the global binary search needs baseline + dynamic-5%.
+    // Global-search legs need the baseline plus their reference leg;
+    // they run last, on this thread (each is itself a serial binary
+    // search of full simulations).
     r.baseline = pool.wait(baseFut);
-    if (r.baseline.failed() || r.dyn5.failed()) {
-        r.global = dependencyFailed(
-            name, "global", r.baseline.failed() ? "baseline" : "dyn5");
-    } else {
-        r.global = runGuarded(name, "global", [&] {
-            globalLeg(prog, r);
-            return r.global;
+    for (std::size_t i = 0; i < r.legs.size(); ++i) {
+        const LegSpec &spec = r.legs[i].spec;
+        if (spec.kind != LegSpec::Kind::GlobalSearch)
+            continue;
+        // The reference may itself be a controller leg still in
+        // flight — settle it (and only it) before deciding.
+        settleController(spec.reference);
+        const ControllerLeg *ref = r.findLeg(spec.reference);
+        if (r.baseline.failed() || !ref || ref->run.failed()) {
+            r.legs[i].run = dependencyFailed(
+                name, spec.name,
+                r.baseline.failed() ? "baseline" : spec.reference);
+            continue;
+        }
+        r.legs[i].run = runGuarded(name, spec.name, [&] {
+            GlobalOut g = globalLeg(prog, r, ref->run,
+                                    name + "/" + spec.name);
+            r.globalFrequency = g.frequency;
+            return g.result;
         });
     }
 
-    r.online = pool.wait(onlineFut);
+    for (CtrlFut &cf : ctrlFuts) {
+        if (!cf.settled)
+            r.legs[cf.idx].run = pool.wait(cf.fut);
+    }
 
     storeCache(r);
     return r;
@@ -883,7 +1246,8 @@ ExperimentRunner::runOnline(const std::string &name)
     Program prog = workloads::build(name, config.scale);
     OnlineRun out;
     out.mcdBaseline = runOnce(prog, makeSimConfig(ClockingStyle::Mcd));
-    out.online = onlineLeg(prog);
+    out.online = controllerLeg(
+        prog, LegSpec::controllerLeg("online", "online-queue"), {});
     return out;
 }
 
@@ -904,6 +1268,23 @@ maybeWriteJson(const ExperimentConfig &cfg,
         return;
     }
     writeResultsJson(os, cfg, out);
+}
+
+/** Honor MCD_LEADERBOARD_JSON: dump the ranked leaderboard. */
+void
+maybeWriteLeaderboard(const ExperimentConfig &cfg,
+                      const std::vector<BenchmarkResults> &out)
+{
+    const char *path = std::getenv("MCD_LEADERBOARD_JSON");
+    if (!path || !*path)
+        return;
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr,
+                     "  MCD_LEADERBOARD_JSON: cannot write %s\n", path);
+        return;
+    }
+    writeLeaderboardJson(os, cfg, out);
 }
 
 /** Honor MCD_STATS_OUT / MCD_TRACE_OUT: dump merged telemetry. */
@@ -933,8 +1314,11 @@ maybeWriteTelemetry(const std::vector<BenchmarkResults> &out,
 
 /**
  * The effective matrix config: MCD_TRACE_OUT / MCD_STATS_OUT imply
- * full telemetry collection when the caller left it off, and
- * MCD_FAULT_PLAN supplies a fault plan when the caller passed none.
+ * full telemetry collection when the caller left it off,
+ * MCD_FAULT_PLAN supplies a fault plan when the caller passed none,
+ * and an empty leg vector resolves to the tournament set
+ * (MCD_TOURNAMENT) or the paper defaults, optionally filtered down by
+ * MCD_CONTROLLERS.
  */
 ExperimentConfig
 effectiveConfig(const ExperimentConfig &cfg)
@@ -954,6 +1338,67 @@ effectiveConfig(const ExperimentConfig &cfg)
     }
     if (!e.faults)
         e.faults = fault::FaultPlan::fromEnv();
+
+    if (e.legs.empty()) {
+        const char *t = std::getenv("MCD_TOURNAMENT");
+        bool tournament = t && *t && std::string_view(t) != "0";
+        e.legs = tournament ? tournamentLegs(e) : defaultLegs(e);
+    }
+    if (const char *v = std::getenv("MCD_CONTROLLERS"); v && *v) {
+        std::vector<std::string> want;
+        std::string item;
+        for (const char *p = v;; ++p) {
+            if (*p && *p != ',') {
+                item += *p;
+                continue;
+            }
+            if (!item.empty()) {
+                want.push_back(item);
+                item.clear();
+            }
+            if (!*p)
+                break;
+        }
+        auto available = [&] {
+            std::string known;
+            for (const LegSpec &l : e.legs) {
+                if (!known.empty())
+                    known += ", ";
+                known += l.name;
+            }
+            return known;
+        };
+        if (want.empty())
+            fatal("MCD_CONTROLLERS: no leg names given (available: " +
+                  available() + ")");
+        for (const std::string &n : want) {
+            bool known = false;
+            for (const LegSpec &l : e.legs)
+                known = known || l.name == n;
+            if (!known)
+                fatal("MCD_CONTROLLERS: unknown leg '" + n +
+                      "' (available: " + available() + ")");
+        }
+        std::vector<LegSpec> kept;
+        for (LegSpec &l : e.legs) {
+            if (std::find(want.begin(), want.end(), l.name) !=
+                want.end()) {
+                kept.push_back(std::move(l));
+            }
+        }
+        for (const LegSpec &l : kept) {
+            if (l.kind != LegSpec::Kind::GlobalSearch)
+                continue;
+            bool refKept = false;
+            for (const LegSpec &o : kept)
+                refKept = refKept || o.name == l.reference;
+            if (!refKept)
+                fatal("MCD_CONTROLLERS: leg '" + l.name +
+                      "' needs its reference leg '" + l.reference +
+                      "'; add it to the list or drop '" + l.name + "'");
+        }
+        e.legs = std::move(kept);
+    }
     return e;
 }
 
@@ -974,9 +1419,10 @@ matrixHealth(obs::StatsRegistry &reg,
     for (const BenchmarkResults &r : rows) {
         std::uint64_t f = r.failedLegs();
         failedLegs += f;
-        ok += 6 - f;
-        for (const LegRef &l : legs(r))
-            retried += l.run->attempts > 1 ? 1 : 0;
+        ok += r.totalLegs() - f;
+        forEachRun(r, [&](const std::string &, const RunResult &run) {
+            retried += run.attempts > 1 ? 1 : 0;
+        });
     }
     reg.counter("matrix.legs.ok", "matrix legs that completed")
         .inc(ok);
@@ -999,14 +1445,18 @@ finishMatrix(const ExperimentConfig &cfg,
     obs::StatsRegistry health;
     bool degraded = matrixHealth(health, out, runner.cacheQuarantines());
     maybeWriteJson(cfg, out);
+    maybeWriteLeaderboard(cfg, out);
     maybeWriteTelemetry(out, degraded ? &health : nullptr);
     if (degraded) {
         std::uint64_t failedLegs = 0;
-        for (const BenchmarkResults &r : out)
+        std::uint64_t totalLegs = 0;
+        for (const BenchmarkResults &r : out) {
             failedLegs += r.failedLegs();
+            totalLegs += r.totalLegs();
+        }
         if (failedLegs)
             warn("matrix degraded: " + std::to_string(failedLegs) +
-                 " of " + std::to_string(out.size() * 6) +
+                 " of " + std::to_string(totalLegs) +
                  " legs failed (see results JSON \"failures\")");
     }
 }

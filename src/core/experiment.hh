@@ -2,23 +2,28 @@
  * @file
  * The experiment runner for the paper's evaluation (Section 4).
  *
- * For one benchmark it produces the five configurations compared in
- * Figures 5-7:
+ * For one benchmark it produces two fixed reference runs plus a
+ * configurable vector of dynamic-control legs. The default leg set is
+ * the paper's matrix (Figures 5-7):
  *
- *  - baseline: singly clocked 1 GHz, no scaling;
+ *  - baseline: singly clocked 1 GHz, no scaling (fixed);
  *  - baseline MCD: four domains, all statically at 1 GHz (quantifies
- *    the synchronization cost; doubles as the profiling run);
- *  - dynamic-1% / dynamic-5%: per-domain DVFS driven by the offline
- *    tool's schedule with a 1% / 5% dilation target;
+ *    the synchronization cost; doubles as the profiling run) (fixed);
+ *  - dyn1 / dyn5: per-domain DVFS driven by the offline tool's
+ *    schedule with a 1% / 5% dilation target (schedule-replay legs);
  *  - global: the baseline with a single reduced frequency/voltage
- *    chosen so its performance degradation matches dynamic-5%.
- *
- * Plus a sixth, non-oracle configuration beyond the paper:
- *
+ *    chosen so its performance degradation matches dyn5 (search leg);
  *  - online: per-domain DVFS driven at runtime by the queue-occupancy
- *    attack/decay controller (no profiling pass, no offline tool),
- *    measuring how close a practical control loop gets to the
- *    dyn-1%/dyn-5% oracle columns.
+ *    attack/decay controller (controller leg).
+ *
+ * Legs are data, not code: a controller leg names a factory in the
+ * ControllerRegistry (src/control/registry.hh), so any registered
+ * policy — PID feedback, the cpufreq governor family, the offline-
+ * trained table — joins the full evaluation (figures, results JSON,
+ * cache, fault sites, telemetry) by appearing in the leg vector.
+ * Tournament mode (MCD_TOURNAMENT=1 / --tournament) builds a leg set
+ * of the dyn5 oracle plus every registered controller and ranks them
+ * on an energy-delay-product leaderboard.
  *
  * Results are cached on disk so the per-figure bench binaries can
  * share one expensive run matrix.
@@ -34,6 +39,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/analyzer.hh"
@@ -44,6 +50,43 @@
 #include "fault/fault_plan.hh"
 
 namespace mcd {
+
+/**
+ * One dynamic-control leg of the matrix, as data. The name doubles as
+ * the JSON key, the fault/telemetry site suffix ("<bench>/<name>"),
+ * and the cache-record tag; the display string is the figure-table
+ * column header.
+ */
+struct LegSpec
+{
+    enum class Kind : std::uint8_t {
+        ScheduleReplay,     //!< offline analyze + replay at `dilation`
+        GlobalSearch,       //!< single-clock search matching `reference`
+        Controller,         //!< registry-built `controller` + `params`
+    };
+
+    std::string name;
+    std::string display;    //!< column header (defaults to name)
+    Kind kind = Kind::Controller;
+
+    double dilation = 0.0;      //!< ScheduleReplay: dilation target
+    std::string reference;      //!< GlobalSearch: leg to match
+    std::string controller;     //!< Controller: registry name
+    std::string params;         //!< Controller: factory param spec
+
+    /** Convenience constructors for the three kinds. */
+    static LegSpec scheduleReplay(std::string name, double dilation,
+                                  std::string display = {});
+    static LegSpec globalSearch(std::string name, std::string reference,
+                                std::string display = {});
+    static LegSpec controllerLeg(std::string name,
+                                 std::string controller,
+                                 std::string params = {},
+                                 std::string display = {});
+
+    /** Everything result-shaping, folded into the cache key. */
+    std::string keyToken() const;
+};
 
 /** Parameters of one experiment matrix. */
 struct ExperimentConfig
@@ -59,6 +102,15 @@ struct ExperimentConfig
     std::uint64_t seed = 1;
     bool recordFreqTrace = false;   //!< per-domain traces (Figure 8)
     std::string cacheDir;           //!< empty = caching disabled
+
+    /**
+     * The dynamic-control legs to run besides the two fixed reference
+     * runs. Empty means "decide at runMatrix() time": the tournament
+     * set when MCD_TOURNAMENT is on, else defaultLegs(); either is
+     * then filtered by MCD_CONTROLLERS. ExperimentRunner resolves an
+     * empty vector to defaultLegs() at construction.
+     */
+    std::vector<LegSpec> legs;
 
     /**
      * Telemetry channels for every run in the matrix. When any channel
@@ -80,7 +132,7 @@ struct ExperimentConfig
      */
     std::optional<SamplingParams> sampling;
 
-    /** Attack/decay parameters for the online-control column. */
+    /** Attack/decay defaults for "online-queue" controller legs. */
     OnlineQueueParams online;
 
     /**
@@ -107,20 +159,44 @@ struct ExperimentConfig
     void validate() const;
 };
 
-/** The six runs (plus metadata) for one benchmark. */
+/**
+ * The paper's leg set: dyn1, dyn5, global (matched to dyn5), online.
+ * Dilations come from @p cfg; results are bit-identical to the
+ * pre-registry hard-coded matrix.
+ */
+std::vector<LegSpec> defaultLegs(const ExperimentConfig &cfg);
+
+/**
+ * The tournament leg set: the dyn5 schedule-replay oracle plus one
+ * controller leg (factory defaults) per ControllerRegistry entry.
+ */
+std::vector<LegSpec> tournamentLegs(const ExperimentConfig &cfg);
+
+/** One completed dynamic-control leg. */
+struct ControllerLeg
+{
+    LegSpec spec;
+    RunResult run;
+    std::size_t scheduleSize = 0;   //!< ScheduleReplay entries
+};
+
+/** The matrix runs (plus metadata) for one benchmark. */
 struct BenchmarkResults
 {
     std::string name;
     RunResult baseline;
     RunResult mcdBaseline;
-    RunResult dyn1;
-    RunResult dyn5;
-    RunResult global;
-    RunResult online;       //!< online queue-driven attack/decay
-    Hertz globalFrequency = 0.0;
+    std::vector<ControllerLeg> legs;    //!< in ExperimentConfig order
+    Hertz globalFrequency = 0.0;        //!< last GlobalSearch leg's pick
 
-    std::size_t schedule1Size = 0;  //!< dyn-1% schedule entries
-    std::size_t schedule5Size = 0;
+    /** The leg named @p leg, or nullptr. */
+    const ControllerLeg *findLeg(std::string_view leg) const;
+
+    /** The run of the leg named @p leg (fatal when absent). */
+    const RunResult &leg(std::string_view leg) const;
+
+    /** Schedule entries of leg @p leg (0 when absent / not replay). */
+    std::size_t scheduleSize(std::string_view leg) const;
 
     /** Fractional slowdown of @p r relative to the baseline. */
     double
@@ -144,10 +220,13 @@ struct BenchmarkResults
         return 1.0 - r.energyDelay / baseline.energyDelay;
     }
 
-    /** Number of failed legs (0..6). */
+    /** Total legs including the two fixed reference runs. */
+    std::size_t totalLegs() const { return legs.size() + 2; }
+
+    /** Number of failed legs (0..totalLegs()). */
     std::size_t failedLegs() const;
 
-    /** True when any of the six legs failed. */
+    /** True when any leg failed. */
     bool anyFailed() const { return failedLegs() != 0; }
 };
 
@@ -174,16 +253,19 @@ namespace expcache {
 extern const char *const version;
 
 /**
- * Serialize @p r: the version header, the six run records, the "end"
- * sentinel, and a trailing FNV-1a checksum line over everything
- * before it, so bit rot anywhere in the payload is detected (v4).
+ * Serialize @p r: the version header, the two reference records, one
+ * tagged record per named leg, the "end" sentinel, and a trailing
+ * FNV-1a checksum line over everything before it, so bit rot anywhere
+ * in the payload is detected (v5).
  */
 void write(std::ostream &os, const BenchmarkResults &r);
 
 /**
  * Deserialize one BenchmarkResults; returns nullopt on a version
  * mismatch, truncation, checksum mismatch, or any other malformed
- * content.
+ * content. Leg records come back with name and scheduleSize only
+ * (the rest of the LegSpec lives in the config, not the cache); the
+ * loader revalidates the leg names against its config's leg set.
  */
 std::optional<BenchmarkResults> read(std::istream &is,
                                      const std::string &name);
@@ -198,6 +280,36 @@ std::optional<BenchmarkResults> read(std::istream &is,
  */
 void writeResultsJson(std::ostream &os, const ExperimentConfig &cfg,
                       const std::vector<BenchmarkResults> &rows);
+
+/**
+ * One leaderboard entry: a leg's figures averaged over every
+ * benchmark where both it and the baseline completed.
+ */
+struct LeaderboardRow
+{
+    LegSpec spec;
+    double meanEdpImprovement = 0.0;
+    double meanEnergySavings = 0.0;
+    double meanPerfDegradation = 0.0;
+    std::size_t completed = 0;  //!< benchmarks contributing
+    std::size_t failed = 0;     //!< benchmarks where the leg failed
+};
+
+/**
+ * Rank every dynamic-control leg by mean energy-delay-product
+ * improvement, descending (ties broken by leg name). Works on any
+ * matrix, not just tournament runs.
+ */
+std::vector<LeaderboardRow>
+computeLeaderboard(const std::vector<BenchmarkResults> &rows);
+
+/**
+ * The ranked leaderboard as JSON (schema in EXPERIMENTS.md,
+ * "Controller tournament"). runMatrix() writes this automatically to
+ * the path named by MCD_LEADERBOARD_JSON.
+ */
+void writeLeaderboardJson(std::ostream &os, const ExperimentConfig &cfg,
+                          const std::vector<BenchmarkResults> &rows);
 
 /** One labeled run for the telemetry writers (run not owned). */
 struct NamedRun
@@ -226,8 +338,8 @@ void writeTelemetryTrace(std::ostream &os,
 
 /**
  * The matrix rows flattened to "bench/leg" names in deterministic
- * row-then-leg order (baseline, mcdBaseline, dyn1, dyn5, global,
- * online), for the writers above. runMatrix() writes both documents
+ * row-then-leg order (baseline, mcdBaseline, then the leg vector),
+ * for the writers above. runMatrix() writes both documents
  * automatically to the paths named by MCD_STATS_OUT / MCD_TRACE_OUT.
  */
 std::vector<NamedRun>
@@ -244,6 +356,7 @@ namedRuns(const std::vector<BenchmarkResults> &rows);
 class ExperimentRunner
 {
   public:
+    /** An empty cfg.legs vector is resolved to defaultLegs(cfg). */
     explicit ExperimentRunner(ExperimentConfig cfg);
 
     /** Run (or load from cache) the full matrix for one benchmark. */
@@ -251,13 +364,13 @@ class ExperimentRunner
 
     /**
      * Same matrix, with the independent legs fanned out on @p pool as
-     * a small task graph: the baseline and the MCD profiling run
-     * execute in parallel; then the dynamic-1% and dynamic-5%
-     * analyze+simulate legs run concurrently off the shared trace;
-     * the global binary search (which needs baseline + dynamic-5%)
-     * runs last. Every leg simulates an independently constructed,
-     * per-run-seeded processor, so the results are bit-identical to
-     * the serial runBenchmark() overload.
+     * a small task graph: the baseline, every controller leg, and the
+     * MCD profiling run execute in parallel; then the schedule-replay
+     * legs analyze+simulate concurrently off the shared trace; the
+     * global-search legs (which need the baseline plus their
+     * reference leg) run last. Every leg simulates an independently
+     * constructed, per-run-seeded processor, so the results are
+     * bit-identical to the serial runBenchmark() overload.
      */
     BenchmarkResults runBenchmark(const std::string &name,
                                   ThreadPool &pool);
@@ -303,19 +416,29 @@ class ExperimentRunner
         std::size_t scheduleSize = 0;
     };
 
+    /** Result of one global-search leg. */
+    struct GlobalOut
+    {
+        RunResult result;
+        Hertz frequency = 0.0;
+    };
+
     SimConfig makeSimConfig(ClockingStyle style,
                             const std::string &site = {}) const;
     RunResult runOnce(const Program &prog, const SimConfig &sc) const;
     RunResult profileLeg(const Program &prog,
                          std::vector<InstTrace> &trace_out,
                          const std::string &site) const;
-    RunResult onlineLeg(const Program &prog,
-                        const std::string &site = {}) const;
+    RunResult controllerLeg(const Program &prog, const LegSpec &leg,
+                            const std::string &site) const;
     DynLeg dynamicLeg(const Program &prog,
                       const std::vector<InstTrace> &trace,
                       double target_dilation,
                       const std::string &site) const;
-    void globalLeg(const Program &prog, BenchmarkResults &r) const;
+    GlobalOut globalLeg(const Program &prog,
+                        const BenchmarkResults &r,
+                        const RunResult &reference,
+                        const std::string &site) const;
 
     /**
      * Per-leg isolation: run @p body under a guard that catches
@@ -325,13 +448,14 @@ class ExperimentRunner
      * default RunResult carrying a structured RunError instead of
      * propagating — so one dead leg never takes down the matrix.
      */
-    RunResult runGuarded(const std::string &bench, const char *leg,
+    RunResult runGuarded(const std::string &bench,
+                         const std::string &leg,
                          const std::function<RunResult()> &body) const;
 
     /** A leg skipped because an upstream leg it needs failed. */
     RunResult dependencyFailed(const std::string &bench,
-                               const char *leg,
-                               const char *upstream) const;
+                               const std::string &leg,
+                               const std::string &upstream) const;
 
     std::string cacheKey(const std::string &name) const;
     std::optional<BenchmarkResults> loadCache(const std::string &name) const;
@@ -349,6 +473,12 @@ class ExperimentRunner
  * additionally fans its independent legs onto the same pool. Results
  * are returned in the order of @p names regardless of completion
  * order, and are bit-identical for every jobs value.
+ *
+ * Environment, beyond the telemetry/sampling/fault knobs documented
+ * on ExperimentConfig: MCD_TOURNAMENT=1 switches an empty cfg.legs to
+ * tournamentLegs(); MCD_CONTROLLERS=a,b filters the leg set by name
+ * (unknown names are fatal, enumerating the available legs); and
+ * MCD_LEADERBOARD_JSON names a path for the ranked leaderboard.
  *
  * @param progress print a per-benchmark progress line to stderr
  */

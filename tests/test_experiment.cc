@@ -57,22 +57,26 @@ TEST(Experiment, FullMatrixShapes)
     EXPECT_LT(r.perfDegradation(r.mcdBaseline), 0.06);
 
     // The dynamic configurations save energy; deeper target -> more.
-    EXPECT_GT(r.energySavings(r.dyn1), 0.0);
-    EXPECT_GT(r.energySavings(r.dyn5), r.energySavings(r.dyn1));
-    EXPECT_GT(r.perfDegradation(r.dyn5), r.perfDegradation(r.dyn1));
+    EXPECT_GT(r.energySavings(r.leg("dyn1")), 0.0);
+    EXPECT_GT(r.energySavings(r.leg("dyn5")),
+              r.energySavings(r.leg("dyn1")));
+    EXPECT_GT(r.perfDegradation(r.leg("dyn5")),
+              r.perfDegradation(r.leg("dyn1")));
 
     // Global was matched to dynamic-5% degradation.
-    EXPECT_NEAR(r.perfDegradation(r.global), r.perfDegradation(r.dyn5),
-                0.05);
+    EXPECT_NEAR(r.perfDegradation(r.leg("global")),
+                r.perfDegradation(r.leg("dyn5")), 0.05);
     EXPECT_GT(r.globalFrequency, 250e6);
     EXPECT_LT(r.globalFrequency, 1e9);
 
     // The headline: at matched degradation, per-domain scaling saves
     // more energy than global scaling (paper Figures 6-7).
-    EXPECT_GT(r.energySavings(r.dyn5), r.energySavings(r.global));
-    EXPECT_GT(r.edpImprovement(r.dyn5), r.edpImprovement(r.global));
+    EXPECT_GT(r.energySavings(r.leg("dyn5")),
+              r.energySavings(r.leg("global")));
+    EXPECT_GT(r.edpImprovement(r.leg("dyn5")),
+              r.edpImprovement(r.leg("global")));
 
-    EXPECT_GT(r.schedule5Size, 0u);
+    EXPECT_GT(r.scheduleSize("dyn5"), 0u);
 }
 
 TEST(Experiment, CacheRoundtrip)
@@ -89,14 +93,19 @@ TEST(Experiment, CacheRoundtrip)
     ExperimentRunner b(ec);
     BenchmarkResults second = b.runBenchmark("mst");
     EXPECT_EQ(first.baseline.execTime, second.baseline.execTime);
-    EXPECT_DOUBLE_EQ(first.dyn5.totalEnergy, second.dyn5.totalEnergy);
+    EXPECT_DOUBLE_EQ(first.leg("dyn5").totalEnergy,
+                     second.leg("dyn5").totalEnergy);
     EXPECT_DOUBLE_EQ(first.globalFrequency, second.globalFrequency);
-    EXPECT_EQ(first.schedule1Size, second.schedule1Size);
+    EXPECT_EQ(first.scheduleSize("dyn1"), second.scheduleSize("dyn1"));
+    // The cached row rehydrates its leg specs from the live config.
+    ASSERT_EQ(second.legs.size(), 4u);
+    EXPECT_EQ(second.legs[2].spec.kind, LegSpec::Kind::GlobalSearch);
+    EXPECT_EQ(second.legs[3].spec.controller, "online-queue");
     for (int d = 0; d < numDomains; ++d) {
-        EXPECT_EQ(first.dyn5.domains[d].reconfigurations,
-                  second.dyn5.domains[d].reconfigurations);
-        EXPECT_DOUBLE_EQ(first.dyn5.domains[d].avgFrequency,
-                         second.dyn5.domains[d].avgFrequency);
+        EXPECT_EQ(first.leg("dyn5").domains[d].reconfigurations,
+                  second.leg("dyn5").domains[d].reconfigurations);
+        EXPECT_DOUBLE_EQ(first.leg("dyn5").domains[d].avgFrequency,
+                         second.leg("dyn5").domains[d].avgFrequency);
     }
     std::filesystem::remove_all(dir);
 }
@@ -140,9 +149,12 @@ TEST(Experiment, JsonEmitterIsWellFormedAndComplete)
     r.baseline.totalEnergy = 2.0;
     r.baseline.energyDelay = 4.0;
     r.baseline.ipc = 1.2345678901234567;
-    r.online.execTime = 1100;
-    r.online.totalEnergy = 1.5;
-    r.online.energyDelay = 3.0;
+    for (const LegSpec &spec : defaultLegs(ec))
+        r.legs.push_back({spec, RunResult{}, 0});
+    RunResult &online = r.legs.back().run;
+    online.execTime = 1100;
+    online.totalEnergy = 1.5;
+    online.energyDelay = 3.0;
 
     std::ostringstream os;
     writeResultsJson(os, ec, {r});
@@ -201,7 +213,7 @@ TEST(Experiment, CacheKeyDistinguishesConfigs)
 
     // Different models must not alias in the cache: the Transmeta
     // run has PLL re-lock stalls, so the dynamic results differ.
-    EXPECT_NE(xs.dyn5.execTime, tm.dyn5.execTime);
+    EXPECT_NE(xs.leg("dyn5").execTime, tm.leg("dyn5").execTime);
     std::filesystem::remove_all(dir);
 }
 

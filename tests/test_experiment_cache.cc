@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -26,10 +27,13 @@ synthetic()
     BenchmarkResults r;
     r.name = "synthetic";
     r.globalFrequency = 625e6;
-    r.schedule1Size = 42;
-    r.schedule5Size = 137;
-    RunResult *runs[5] = {&r.baseline, &r.mcdBaseline, &r.dyn1,
-                          &r.dyn5, &r.global};
+    for (const LegSpec &spec : defaultLegs(ExperimentConfig{}))
+        r.legs.push_back({spec, RunResult{}, 0});
+    r.legs[0].scheduleSize = 42;    // dyn1
+    r.legs[1].scheduleSize = 137;   // dyn5
+    std::vector<RunResult *> runs{&r.baseline, &r.mcdBaseline};
+    for (ControllerLeg &l : r.legs)
+        runs.push_back(&l.run);
     double x = 1.0;
     for (RunResult *run : runs) {
         run->execTime = static_cast<Tick>(217434567 * x);
@@ -56,13 +60,16 @@ expectEqual(const BenchmarkResults &a, const BenchmarkResults &b)
 {
     EXPECT_EQ(a.name, b.name);
     EXPECT_EQ(a.globalFrequency, b.globalFrequency);
-    EXPECT_EQ(a.schedule1Size, b.schedule1Size);
-    EXPECT_EQ(a.schedule5Size, b.schedule5Size);
-    const RunResult *ra[5] = {&a.baseline, &a.mcdBaseline, &a.dyn1,
-                              &a.dyn5, &a.global};
-    const RunResult *rb[5] = {&b.baseline, &b.mcdBaseline, &b.dyn1,
-                              &b.dyn5, &b.global};
-    for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(a.legs.size(), b.legs.size());
+    std::vector<const RunResult *> ra{&a.baseline, &a.mcdBaseline};
+    std::vector<const RunResult *> rb{&b.baseline, &b.mcdBaseline};
+    for (std::size_t i = 0; i < a.legs.size(); ++i) {
+        EXPECT_EQ(a.legs[i].spec.name, b.legs[i].spec.name);
+        EXPECT_EQ(a.legs[i].scheduleSize, b.legs[i].scheduleSize);
+        ra.push_back(&a.legs[i].run);
+        rb.push_back(&b.legs[i].run);
+    }
+    for (std::size_t i = 0; i < ra.size(); ++i) {
         EXPECT_EQ(ra[i]->execTime, rb[i]->execTime);
         EXPECT_EQ(ra[i]->committed, rb[i]->committed);
         EXPECT_EQ(ra[i]->ipc, rb[i]->ipc);

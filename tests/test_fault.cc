@@ -264,18 +264,22 @@ TEST(MatrixExitCode, DistinguishesPartialFromTotalFailure)
     EXPECT_EQ(matrixExitCode({}), exitOk);
 
     std::vector<BenchmarkResults> rows(2);
+    for (BenchmarkResults &r : rows) {
+        for (const LegSpec &spec : defaultLegs(ExperimentConfig{}))
+            r.legs.push_back({spec, RunResult{}, 0});
+    }
     EXPECT_EQ(matrixExitCode(rows), exitOk);
 
-    rows[0].dyn1 = failedRun("a/dyn1", "injected");
+    rows[0].legs[0].run = failedRun("a/dyn1", "injected");
     EXPECT_EQ(rows[0].failedLegs(), 1u);
     EXPECT_TRUE(rows[0].anyFailed());
     EXPECT_EQ(matrixExitCode(rows), exitPartialFailure);
 
     for (BenchmarkResults &r : rows) {
-        for (RunResult *run : {&r.baseline, &r.mcdBaseline, &r.dyn1,
-                               &r.dyn5, &r.global, &r.online}) {
-            *run = failedRun("x", "fatal");
-        }
+        r.baseline = failedRun("x", "fatal");
+        r.mcdBaseline = failedRun("x", "fatal");
+        for (ControllerLeg &l : r.legs)
+            l.run = failedRun("x", "fatal");
     }
     EXPECT_EQ(rows[0].failedLegs(), 6u);
     EXPECT_EQ(matrixExitCode(rows), exitTotalFailure);
@@ -315,7 +319,7 @@ TEST(FaultMatrix, InjectedLegFailureIsIsolatedAndJobCountIndependent)
     ASSERT_EQ(serial.size(), 2u);
 
     // The armed leg failed with a structured record...
-    const RunResult &dead = serial[0].dyn1;
+    const RunResult &dead = serial[0].leg("dyn1");
     ASSERT_TRUE(dead.failed());
     EXPECT_EQ(dead.error->kind, "injected");
     EXPECT_EQ(dead.error->site, "adpcm/dyn1");
@@ -326,8 +330,8 @@ TEST(FaultMatrix, InjectedLegFailureIsIsolatedAndJobCountIndependent)
     EXPECT_EQ(serial[0].failedLegs(), 1u);
     EXPECT_EQ(serial[1].failedLegs(), 0u);
     EXPECT_GT(serial[0].baseline.committed, 0u);
-    EXPECT_GT(serial[0].global.committed, 0u);
-    EXPECT_GT(serial[1].dyn1.committed, 0u);
+    EXPECT_GT(serial[0].leg("global").committed, 0u);
+    EXPECT_GT(serial[1].leg("dyn1").committed, 0u);
     EXPECT_EQ(matrixExitCode(serial), exitPartialFailure);
 
     // The failure surfaces in the results JSON.
@@ -367,8 +371,9 @@ TEST(FaultMatrix, TransientFaultIsRetriedAndRecovers)
     // The flaky leg recovered on the second attempt, and the retry
     // reproduced the clean run bit for bit.
     EXPECT_EQ(rows[0].failedLegs(), 0u);
-    EXPECT_EQ(rows[0].dyn5.attempts, 2);
-    expectRunsIdentical(rows[0].dyn5, cleanRows[0].dyn5, "dyn5");
+    EXPECT_EQ(rows[0].leg("dyn5").attempts, 2);
+    expectRunsIdentical(rows[0].leg("dyn5"), cleanRows[0].leg("dyn5"),
+                        "dyn5");
     expectRunsIdentical(rows[0].baseline, cleanRows[0].baseline,
                         "baseline");
     EXPECT_EQ(matrixExitCode(rows), exitOk);
@@ -377,8 +382,8 @@ TEST(FaultMatrix, TransientFaultIsRetriedAndRecovers)
     ExperimentConfig once = ec;
     once.legAttempts = 1;
     auto failedRows = runMatrix(once, names, 1);
-    ASSERT_TRUE(failedRows[0].dyn5.failed());
-    EXPECT_EQ(failedRows[0].dyn5.error->kind, "injected");
+    ASSERT_TRUE(failedRows[0].leg("dyn5").failed());
+    EXPECT_EQ(failedRows[0].leg("dyn5").error->kind, "injected");
 }
 
 TEST(FaultMatrix, StallTripsTheWatchdog)
@@ -389,7 +394,7 @@ TEST(FaultMatrix, StallTripsTheWatchdog)
     ec.watchdogNoProgressEdges = 50'000;    // trip fast
     auto rows = runMatrix(ec, {"adpcm"}, 1);
 
-    const RunResult &stalled = rows[0].online;
+    const RunResult &stalled = rows[0].leg("online");
     ASSERT_TRUE(stalled.failed());
     EXPECT_EQ(stalled.error->kind, "watchdog");
     EXPECT_NE(stalled.error->message.find("no commit progress"),
@@ -397,7 +402,7 @@ TEST(FaultMatrix, StallTripsTheWatchdog)
     EXPECT_NE(stalled.error->message.find("injected stall"),
               std::string::npos);
     EXPECT_EQ(rows[0].failedLegs(), 1u);
-    EXPECT_GT(rows[0].dyn5.committed, 0u);  // siblings unaffected
+    EXPECT_GT(rows[0].leg("dyn5").committed, 0u);  // siblings unaffected
 }
 
 TEST(FaultMatrix, ProfilingFailurePropagatesAsDependencyErrors)
@@ -412,18 +417,18 @@ TEST(FaultMatrix, ProfilingFailurePropagatesAsDependencyErrors)
 
     // dyn1/dyn5 need the profiling trace; global needs dyn5. None of
     // them were attempted, and each names its upstream.
-    for (const RunResult *r : {&rows[0].dyn1, &rows[0].dyn5,
-                               &rows[0].global}) {
-        ASSERT_TRUE(r->failed());
-        EXPECT_EQ(r->error->kind, "dependency");
-        EXPECT_EQ(r->attempts, 0);
+    for (const char *leg : {"dyn1", "dyn5", "global"}) {
+        const RunResult &r = rows[0].leg(leg);
+        ASSERT_TRUE(r.failed());
+        EXPECT_EQ(r.error->kind, "dependency");
+        EXPECT_EQ(r.attempts, 0);
     }
-    EXPECT_NE(rows[0].dyn1.error->message.find("mcdBaseline"),
+    EXPECT_NE(rows[0].leg("dyn1").error->message.find("mcdBaseline"),
               std::string::npos);
 
     // Independent legs still ran.
     EXPECT_FALSE(rows[0].baseline.failed());
-    EXPECT_FALSE(rows[0].online.failed());
+    EXPECT_FALSE(rows[0].leg("online").failed());
     EXPECT_EQ(rows[0].failedLegs(), 4u);
     EXPECT_EQ(matrixExitCode(rows), exitPartialFailure);
 }

@@ -22,9 +22,9 @@ TEST(Integration, PaperOrderingAcrossKinds)
         ExperimentConfig ec;
         ExperimentRunner runner(ec);
         BenchmarkResults r = runner.runBenchmark(name);
-        dynEdp += r.edpImprovement(r.dyn5);
-        dyn1Edp += r.edpImprovement(r.dyn1);
-        globalEdp += r.edpImprovement(r.global);
+        dynEdp += r.edpImprovement(r.leg("dyn5"));
+        dyn1Edp += r.edpImprovement(r.leg("dyn1"));
+        globalEdp += r.edpImprovement(r.leg("global"));
     }
     dynEdp /= std::size(kBenches);
     dyn1Edp /= std::size(kBenches);

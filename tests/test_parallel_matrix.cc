@@ -78,12 +78,17 @@ TEST(ParallelMatrix, ParallelRunBitIdenticalToSerial)
                             "baseline");
         expectRunsIdentical(serial[i].mcdBaseline, par[i].mcdBaseline,
                             "mcdBaseline");
-        expectRunsIdentical(serial[i].dyn1, par[i].dyn1, "dyn1");
-        expectRunsIdentical(serial[i].dyn5, par[i].dyn5, "dyn5");
-        expectRunsIdentical(serial[i].global, par[i].global, "global");
+        ASSERT_EQ(serial[i].legs.size(), par[i].legs.size());
+        for (std::size_t l = 0; l < serial[i].legs.size(); ++l) {
+            EXPECT_EQ(serial[i].legs[l].spec.name,
+                      par[i].legs[l].spec.name);
+            expectRunsIdentical(serial[i].legs[l].run,
+                                par[i].legs[l].run,
+                                serial[i].legs[l].spec.name.c_str());
+            EXPECT_EQ(serial[i].legs[l].scheduleSize,
+                      par[i].legs[l].scheduleSize);
+        }
         EXPECT_EQ(serial[i].globalFrequency, par[i].globalFrequency);
-        EXPECT_EQ(serial[i].schedule1Size, par[i].schedule1Size);
-        EXPECT_EQ(serial[i].schedule5Size, par[i].schedule5Size);
     }
 
     // The cache files written by the two runs must match byte for
@@ -121,12 +126,13 @@ TEST(ParallelMatrix, TaskGraphBenchmarkMatchesSerialBenchmark)
     expectRunsIdentical(serial.baseline, par.baseline, "baseline");
     expectRunsIdentical(serial.mcdBaseline, par.mcdBaseline,
                         "mcdBaseline");
-    expectRunsIdentical(serial.dyn1, par.dyn1, "dyn1");
-    expectRunsIdentical(serial.dyn5, par.dyn5, "dyn5");
-    expectRunsIdentical(serial.global, par.global, "global");
+    ASSERT_EQ(serial.legs.size(), par.legs.size());
+    for (std::size_t l = 0; l < serial.legs.size(); ++l) {
+        expectRunsIdentical(serial.legs[l].run, par.legs[l].run,
+                            serial.legs[l].spec.name.c_str());
+        EXPECT_EQ(serial.legs[l].scheduleSize, par.legs[l].scheduleSize);
+    }
     EXPECT_EQ(serial.globalFrequency, par.globalFrequency);
-    EXPECT_EQ(serial.schedule1Size, par.schedule1Size);
-    EXPECT_EQ(serial.schedule5Size, par.schedule5Size);
 }
 
 } // namespace

@@ -196,8 +196,10 @@ TEST(Sampling, SampledMatrixDeterministicAcrossJobs)
         EXPECT_EQ(a.sampling->ffExecuted, b.sampling->ffExecuted);
         EXPECT_EQ(a.sampling->estFfTimePs, b.sampling->estFfTimePs);
         EXPECT_EQ(a.sampling->estFfEnergy, b.sampling->estFfEnergy);
-        EXPECT_EQ(serial[i].dyn5.execTime, par[i].dyn5.execTime);
-        EXPECT_EQ(serial[i].dyn5.totalEnergy, par[i].dyn5.totalEnergy);
+        EXPECT_EQ(serial[i].leg("dyn5").execTime,
+                  par[i].leg("dyn5").execTime);
+        EXPECT_EQ(serial[i].leg("dyn5").totalEnergy,
+                  par[i].leg("dyn5").totalEnergy);
     }
 }
 
@@ -219,7 +221,7 @@ TEST(Sampling, SampledRunsBypassCache)
     // The profiling leg stays full detail; the baseline leg samples.
     ASSERT_FALSE(sampled.mcdBaseline.sampling.has_value());
     ASSERT_TRUE(sampled.baseline.sampling.has_value());
-    ASSERT_TRUE(sampled.dyn5.sampling.has_value());
+    ASSERT_TRUE(sampled.leg("dyn5").sampling.has_value());
 
     // Nothing was stored for the sampled row.
     std::size_t files = 0;
