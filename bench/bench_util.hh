@@ -18,6 +18,7 @@
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
 #include "core/experiment.hh"
+#include "obs/host_prof.hh"
 #include "workloads/workloads.hh"
 
 namespace mcd {
@@ -145,13 +146,18 @@ runMatrix(const ExperimentConfig &ec)
 
 /**
  * End-of-run epilogue for matrix drivers: summarize any failed legs
- * on stderr and return the process exit code — exitOk when everything
- * completed, exitPartialFailure / exitTotalFailure otherwise, so CI
- * can tell a degraded figure from a useless one.
+ * and invariant violations on stderr and return the process exit
+ * code — exitOk when everything completed, exitPartialFailure /
+ * exitTotalFailure otherwise, so CI can tell a degraded figure from a
+ * useless one. An otherwise-clean matrix with recorded invariant
+ * violations exits exitInvariantViolation when MCD_INVARIANTS_FATAL
+ * is set (leg failures outrank the invariant code). Also rewrites the
+ * MCD_PROF_OUT host profile so it includes the render phases.
  */
 inline int
 finish(const std::vector<BenchmarkResults> &rows)
 {
+    writeHostProfileFromEnv();
     int code = matrixExitCode(rows);
     if (code != exitOk) {
         std::size_t failed = 0;
@@ -165,6 +171,15 @@ finish(const std::vector<BenchmarkResults> &rows)
                      "(exit %d)\n",
                      failed, total, code);
     }
+    if (std::uint64_t v = countInvariantViolations(rows)) {
+        bool fatal = code == exitOk && invariantsFatalFromEnv();
+        std::fprintf(stderr,
+                     "  invariants: %llu violation(s) recorded%s\n",
+                     static_cast<unsigned long long>(v),
+                     fatal ? " (MCD_INVARIANTS_FATAL: exit 5)" : "");
+        if (fatal)
+            code = exitInvariantViolation;
+    }
     return code;
 }
 
@@ -173,7 +188,10 @@ finish(const std::vector<BenchmarkResults> &rows)
  * the registered-controller tournament instead of the paper's default
  * matrix (same as MCD_TOURNAMENT=1; the flag just exports the
  * variable so the env-driven plumbing stays the single source of
- * truth). Unknown flags are rejected with a usage message.
+ * truth). `--invariants <spec>` enables the telemetry invariant
+ * engine (same as MCD_INVARIANTS=<spec>; "default" selects the
+ * built-in rule set). Unknown flags are rejected with a usage
+ * message.
  */
 inline void
 parseFigureArgs(int argc, char **argv)
@@ -184,8 +202,19 @@ parseFigureArgs(int argc, char **argv)
             ::setenv("MCD_TOURNAMENT", "1", /*overwrite=*/1);
             continue;
         }
+        if (arg == "--invariants") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "%s: --invariants needs a spec "
+                             "('default' or a rule list)\n",
+                             argv[0]);
+                std::exit(2);
+            }
+            ::setenv("MCD_INVARIANTS", argv[++i], /*overwrite=*/1);
+            continue;
+        }
         std::fprintf(stderr,
-                     "usage: %s [--tournament]\n"
+                     "usage: %s [--tournament] [--invariants <spec>]\n"
                      "  unknown argument '%s'\n",
                      argv[0], arg.c_str());
         std::exit(2);
@@ -206,6 +235,8 @@ printFigure(const char *title,
             const std::function<double(const BenchmarkResults &,
                                        const RunResult &)> &metric)
 {
+    obs::HostProfiler::Scope prof =
+        obs::HostProfiler::instance().phase("render", title);
     std::printf("%s\n\n", title);
     if (rows.empty()) {
         std::printf("(no benchmarks)\n");
@@ -259,6 +290,8 @@ printFigure(const char *title,
 inline void
 printLeaderboard(const std::vector<BenchmarkResults> &rows)
 {
+    obs::HostProfiler::Scope prof =
+        obs::HostProfiler::instance().phase("render", "leaderboard");
     std::vector<LeaderboardRow> board = computeLeaderboard(rows);
     std::printf("\nController tournament leaderboard "
                 "(mean over %zu benchmarks, ranked by EDP "

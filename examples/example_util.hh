@@ -43,15 +43,17 @@ guardedMain(const std::function<int()> &body)
 }
 
 /**
- * Consume "--trace-out <path>" / "--stats-out <path>" from argv
- * (compacting the positional arguments so existing positional parsing
- * is unaffected), falling back to the MCD_TRACE_OUT / MCD_STATS_OUT
+ * Consume "--trace-out <path>" / "--stats-out <path>" /
+ * "--invariants <spec>" from argv (compacting the positional
+ * arguments so existing positional parsing is unaffected), falling
+ * back to the MCD_TRACE_OUT / MCD_STATS_OUT / MCD_INVARIANTS
  * environment variables when the flags are absent.
  */
 struct TelemetryArgs
 {
     std::string traceOut;
     std::string statsOut;
+    std::string invariants;
 
     bool wanted() const { return !traceOut.empty() || !statsOut.empty(); }
 
@@ -63,23 +65,39 @@ struct TelemetryArgs
             a.traceOut = e;
         if (const char *e = std::getenv("MCD_STATS_OUT"))
             a.statsOut = e;
+        if (const char *e = std::getenv("MCD_INVARIANTS"))
+            a.invariants = e;
         int out = 1;
         for (int i = 1; i < argc; ++i) {
             std::string arg = argv[i];
             std::string *dst = arg == "--trace-out" ? &a.traceOut
-                : arg == "--stats-out" ? &a.statsOut : nullptr;
+                : arg == "--stats-out" ? &a.statsOut
+                : arg == "--invariants" ? &a.invariants : nullptr;
             if (!dst) {
                 argv[out++] = argv[i];
                 continue;
             }
             if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s requires a path\n", arg.c_str());
+                std::fprintf(stderr, "%s requires a value\n", arg.c_str());
                 std::exit(1);
             }
             *dst = argv[++i];
         }
         argc = out;
         return a;
+    }
+
+    /**
+     * Apply the output-independent telemetry knobs to a run's config:
+     * currently just the invariant spec, which enables the engine even
+     * without --trace-out/--stats-out (violations still reach stderr
+     * via the run summary and the stats registry).
+     */
+    void
+    apply(obs::TelemetryConfig &tc) const
+    {
+        if (!invariants.empty())
+            tc.invariants = invariants;
     }
 
     /** Write the requested documents for the given labeled runs. */

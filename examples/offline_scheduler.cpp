@@ -8,11 +8,14 @@
  *
  *   ./offline_scheduler [benchmark] [dilation-%] [xscale|transmeta]
  *                       [--trace-out <path>] [--stats-out <path>]
+ *                       [--invariants <spec>]
  *
  * --trace-out writes a merged Chrome trace (chrome://tracing /
  * Perfetto) of the profiling and dynamic runs; --stats-out writes
- * their stats registries as JSON. MCD_TRACE_OUT / MCD_STATS_OUT are
- * the environment fallback when the flags are absent.
+ * their stats registries as JSON; --invariants checks the named
+ * invariant rules online ("default" for the built-in set).
+ * MCD_TRACE_OUT / MCD_STATS_OUT / MCD_INVARIANTS are the environment
+ * fallback when the flags are absent.
  */
 
 #include <cstdio>
@@ -59,6 +62,7 @@ main(int argc, char **argv)
     profCfg.collectTrace = true;
     if (telemetry.wanted())
         profCfg.telemetry = obs::TelemetryConfig::full();
+    telemetry.apply(profCfg.telemetry);
     McdProcessor prof(profCfg, prog);
     RunResult profile = prof.run();
     std::printf("      %llu instructions, %zu trace records, %s\n\n",
@@ -104,6 +108,7 @@ main(int argc, char **argv)
     dynCfg.controller = &ctrl;
     if (telemetry.wanted())
         dynCfg.telemetry = obs::TelemetryConfig::full();
+    telemetry.apply(dynCfg.telemetry);
     McdProcessor dyn(dynCfg, prog);
     RunResult r = dyn.run();
 

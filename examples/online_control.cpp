@@ -7,11 +7,14 @@
  *
  *   ./online_control [benchmark] [xscale|transmeta] [interval-us]
  *                    [--trace-out <path>] [--stats-out <path>]
+ *                    [--invariants <spec>]
  *
  * --trace-out writes a merged Chrome trace (chrome://tracing /
  * Perfetto) of all runs; --stats-out writes their stats registries as
- * JSON. The MCD_TRACE_OUT / MCD_STATS_OUT environment variables are
- * the fallback when the flags are absent.
+ * JSON; --invariants checks the named invariant rules online
+ * ("default" for the built-in set). The MCD_TRACE_OUT /
+ * MCD_STATS_OUT / MCD_INVARIANTS environment variables are the
+ * fallback when the flags are absent.
  */
 
 #include <cstdio>
@@ -51,6 +54,7 @@ main(int argc, char **argv)
         ec.online.interval = fromMicroseconds(std::atof(argv[3]));
     if (telemetry.wanted())
         ec.telemetry = obs::TelemetryConfig::full();
+    telemetry.apply(ec.telemetry);
     ExperimentRunner runner(ec);
 
     std::printf("[1/2] MCD baseline + online attack/decay run "

@@ -154,7 +154,7 @@ DomainDvfs::applyFrequency(Tick now, Hertz f)
     if (tracing)
         freqTrace.push_back({now, f});
     if (telem)
-        telem->onFrequencyChange(dom.id(), now, f);
+        telem->onFrequencyChange(dom.id(), now, f, dom.voltage());
 }
 
 void
@@ -181,6 +181,12 @@ DomainDvfs::requestFrequency(Tick now, Hertz target)
         active = false;
         return;
     }
+
+    // Injected voltage/frequency mis-order: the rise is applied right
+    // now, while the rail is still at the old (lower) voltage; the
+    // normal update() path then completes the voltage ramp behind it.
+    if (misorder && target > dom.frequency())
+        applyFrequency(now, target);
 
     active = true;
     ramping = false;

@@ -167,6 +167,14 @@ class DomainDvfs
      */
     void attachTelemetry(obs::Telemetry *t) { telem = t; }
 
+    /**
+     * Fault injection (FaultKind::VfMisorder): apply frequency rises
+     * immediately at the request tick, before the voltage ramp — the
+     * exact hazard the voltage_leads_freq invariant exists to catch.
+     * Deterministic: the breach lands at the request tick itself.
+     */
+    void injectVfMisorder() { misorder = true; }
+
     /** Enable recording of (time, frequency) trace points. */
     void enableTrace() { tracing = true; }
     const std::vector<FreqTracePoint> &trace() const { return freqTrace; }
@@ -189,6 +197,7 @@ class DomainDvfs
 
     bool active = false;
     bool tracing = false;
+    bool misorder = false;  //!< injected voltage/frequency mis-order
     Hertz targetFreq;
     int level;              //!< current voltage level [0, stepsFullRange]
     int targetLevel;

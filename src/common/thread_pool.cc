@@ -6,8 +6,6 @@
 
 namespace mcd {
 
-namespace {
-
 /**
  * Run one dequeued task. submit() wraps every callable in a
  * packaged_task, so a throwing task delivers its exception to the
@@ -18,8 +16,9 @@ namespace {
  * Swallow-and-warn is the only safe disposition at this boundary.
  */
 void
-runTask(std::function<void()> &task)
+ThreadPool::execTask(std::function<void()> &task)
 {
+    auto t0 = std::chrono::steady_clock::now();
     try {
         task();
     } catch (const std::exception &e) {
@@ -29,9 +28,8 @@ runTask(std::function<void()> &task)
         warn("thread pool: task escaped its packaged_task wrapper "
              "with a non-std exception");
     }
+    noteTask(t0);
 }
-
-} // namespace
 
 ThreadPool::ThreadPool(unsigned workers)
     : numWorkers(workers)
@@ -63,7 +61,7 @@ ThreadPool::runPendingTask()
         task = std::move(queue.front());
         queue.pop_front();
     }
-    runTask(task);
+    execTask(task);
     return true;
 }
 
@@ -80,7 +78,7 @@ ThreadPool::workerLoop()
             task = std::move(queue.front());
             queue.pop_front();
         }
-        runTask(task);
+        execTask(task);
     }
 }
 

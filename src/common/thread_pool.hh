@@ -19,9 +19,11 @@
 #ifndef MCD_COMMON_THREAD_POOL_HH
 #define MCD_COMMON_THREAD_POOL_HH
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -56,7 +58,9 @@ class ThreadPool
             std::forward<F>(fn));
         std::future<R> fut = task->get_future();
         if (numWorkers == 0) {
+            auto t0 = std::chrono::steady_clock::now();
             (*task)();
+            noteTask(t0);
             return fut;
         }
         {
@@ -122,6 +126,22 @@ class ThreadPool
             std::rethrow_exception(first);
     }
 
+    /**
+     * Utilization gauges for the host profiler: tasks executed and
+     * time spent inside them, summed over every executing thread
+     * (workers, helpers, and the inline jobs=1 path alike).
+     */
+    std::uint64_t
+    tasksExecuted() const
+    {
+        return nExecuted.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    busyNanos() const
+    {
+        return busyNs.load(std::memory_order_relaxed);
+    }
+
     /** Hardware concurrency, never less than 1. */
     static unsigned hardwareJobs();
 
@@ -147,6 +167,19 @@ class ThreadPool
     }
 
     void workerLoop();
+    void execTask(std::function<void()> &task);
+
+    void
+    noteTask(std::chrono::steady_clock::time_point t0)
+    {
+        auto dt = std::chrono::steady_clock::now() - t0;
+        nExecuted.fetch_add(1, std::memory_order_relaxed);
+        busyNs.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                    .count()),
+            std::memory_order_relaxed);
+    }
 
     unsigned numWorkers;
     std::vector<std::thread> threads;
@@ -154,6 +187,8 @@ class ThreadPool
     std::mutex mutex;
     std::condition_variable cv;
     bool stopping = false;
+    std::atomic<std::uint64_t> nExecuted{0};
+    std::atomic<std::uint64_t> busyNs{0};
 };
 
 } // namespace mcd

@@ -1,6 +1,7 @@
 #include "experiment.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +18,7 @@
 #include "clock/operating_points.hh"
 #include "common/log.hh"
 #include "control/registry.hh"
+#include "obs/host_prof.hh"
 #include "workloads/workloads.hh"
 
 namespace mcd {
@@ -351,6 +353,26 @@ jsonRun(std::ostream &os, const char *indent, const RunResult &r)
         os << ",\n" << indent << "  \"stats\": ";
         std::string inner = std::string(indent) + "  ";
         r.telemetry->stats().writeJson(os, inner.c_str());
+        if (const obs::InvariantEngine *inv = r.telemetry->invariants()) {
+            os << ",\n" << indent << "  \"invariants\": {\"checks\": "
+               << inv->checks() << ", \"violations\": "
+               << inv->violations();
+            if (!inv->records().empty()) {
+                os << ", \"records\": [";
+                bool first = true;
+                for (const obs::InvariantViolation &v : inv->records()) {
+                    os << (first ? "" : ", ") << "{\"rule\": \""
+                       << obs::jsonEscape(v.rule) << "\", \"domain\": \""
+                       << domainShortName(v.domain)
+                       << "\", \"tickPs\": " << v.tick
+                       << ", \"observed\": " << v.observed
+                       << ", \"bound\": " << v.bound << "}";
+                    first = false;
+                }
+                os << "]";
+            }
+            os << "}";
+        }
     }
     os << "\n" << indent << "}";
 }
@@ -409,6 +431,43 @@ matrixExitCode(const std::vector<BenchmarkResults> &rows)
     return failed == total ? exitTotalFailure : exitPartialFailure;
 }
 
+std::uint64_t
+countInvariantViolations(const std::vector<BenchmarkResults> &rows)
+{
+    std::uint64_t n = 0;
+    for (const BenchmarkResults &r : rows) {
+        forEachRun(r, [&](const std::string &, const RunResult &run) {
+            if (run.telemetry && run.telemetry->invariants())
+                n += run.telemetry->invariants()->violations();
+        });
+    }
+    return n;
+}
+
+bool
+invariantsFatalFromEnv()
+{
+    const char *v = std::getenv("MCD_INVARIANTS_FATAL");
+    return v && *v && std::string(v) != "0";
+}
+
+void
+writeHostProfileFromEnv()
+{
+    obs::HostProfiler &prof = obs::HostProfiler::instance();
+    if (!prof.enabled())
+        return;
+    const char *path = std::getenv("MCD_PROF_OUT");
+    if (!path || !*path)
+        return;
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "  MCD_PROF_OUT: cannot write %s\n", path);
+        return;
+    }
+    prof.writeProfile(os);
+}
+
 void
 ExperimentConfig::validate() const
 {
@@ -432,6 +491,10 @@ ExperimentConfig::validate() const
         fatal("ExperimentConfig: online.interval must be > 0");
     if (sampling)
         sampling->validate();
+    // Compile the invariant spec now so a typo aborts with a usage
+    // error before any leg runs (parseSpec fatal()s on bad input).
+    if (!telemetry.invariants.empty())
+        obs::InvariantEngine::parseSpec(telemetry.invariants);
 
     // Leg-set validation (an empty vector means "defaults", resolved
     // by the runner or runMatrix; the defaults pass by construction).
@@ -578,6 +641,34 @@ writeResultsJson(std::ostream &os, const ExperimentConfig &cfg,
         }
         os << "\n  ],\n  \"exitCode\": " << matrixExitCode(rows);
     }
+
+    // Invariant surface: likewise emitted only when a rule tripped,
+    // so invariant-free documents do not change shape.
+    if (countInvariantViolations(rows)) {
+        os << ",\n  \"invariantViolations\": [";
+        bool first = true;
+        for (const BenchmarkResults &r : rows) {
+            forEachRun(r, [&](const std::string &tag,
+                              const RunResult &run) {
+                if (!run.telemetry || !run.telemetry->invariants())
+                    return;
+                const obs::InvariantEngine *inv =
+                    run.telemetry->invariants();
+                for (const obs::InvariantViolation &v : inv->records()) {
+                    os << (first ? "" : ",") << "\n    {"
+                       << "\"benchmark\": \"" << obs::jsonEscape(r.name)
+                       << "\", \"leg\": \"" << obs::jsonEscape(tag)
+                       << "\", \"rule\": \"" << obs::jsonEscape(v.rule)
+                       << "\", \"domain\": \"" << domainShortName(v.domain)
+                       << "\", \"tickPs\": " << v.tick
+                       << ", \"observed\": " << v.observed
+                       << ", \"bound\": " << v.bound << "}";
+                    first = false;
+                }
+            });
+        }
+        os << "\n  ]";
+    }
     os << "\n}\n";
 }
 
@@ -670,7 +761,8 @@ namedRuns(const std::vector<BenchmarkResults> &rows)
 void
 writeTelemetryStatsJson(std::ostream &os,
                         const std::vector<NamedRun> &runs,
-                        const obs::StatsRegistry *matrix)
+                        const obs::StatsRegistry *matrix,
+                        const obs::StatsRegistry *host)
 {
     obs::StatsRegistry merged;
     os << "{\n  \"runs\": {";
@@ -690,6 +782,10 @@ writeTelemetryStatsJson(std::ostream &os,
     if (matrix) {
         os << ",\n  \"matrix\": ";
         matrix->writeJson(os, "  ");
+    }
+    if (host) {
+        os << ",\n  \"host\": ";
+        host->writeJson(os, "  ");
     }
     os << "\n}\n";
 }
@@ -827,6 +923,9 @@ ExperimentRunner::loadCache(const std::string &name) const
             fault::damageFile(path, *kind);
     }
 
+    obs::HostProfiler::Scope prof =
+        obs::HostProfiler::instance().phase("cache.read", name);
+
     std::ifstream in(path);
     if (!in)
         return std::nullopt;
@@ -887,6 +986,8 @@ ExperimentRunner::storeCache(const BenchmarkResults &r) const
     std::string path = cachePath(r.name);
     if (path.empty())
         return;
+    obs::HostProfiler::Scope prof =
+        obs::HostProfiler::instance().phase("cache.write", r.name);
     std::error_code ec;
     std::filesystem::create_directories(config.cacheDir, ec);
 
@@ -955,7 +1056,11 @@ ExperimentRunner::dynamicLeg(const Program &prog,
 {
     OfflineAnalyzer analyzer(OfflineAnalyzer::configFor(
         target_dilation, config.model, config.dvfsTimeScale));
-    AnalysisResult analysis = analyzer.analyze(trace);
+    AnalysisResult analysis = [&] {
+        obs::HostProfiler::Scope prof =
+            obs::HostProfiler::instance().phase("analyze", site);
+        return analyzer.analyze(trace);
+    }();
     SimConfig dynCfg = makeSimConfig(ClockingStyle::Mcd, site);
     dynCfg.dvfs = config.model;
     dynCfg.dvfsTimeScale = config.dvfsTimeScale;
@@ -1040,6 +1145,17 @@ ExperimentRunner::runGuarded(const std::string &bench,
                              const std::function<RunResult()> &body) const
 {
     const std::string site = bench + "/" + leg;
+    obs::HostProfiler &hostProf = obs::HostProfiler::instance();
+    obs::HostProfiler::Scope profScope =
+        hostProf.phase("simulate", site);
+    auto wall0 = std::chrono::steady_clock::now();
+    auto noteLeg = [&] {
+        if (!hostProf.enabled())
+            return;
+        double ms = std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall0).count();
+        hostProf.noteLeg(site, ms, obs::HostProfiler::peakRssKb());
+    };
     RunError err;
     for (int attempt = 1; attempt <= config.legAttempts; ++attempt) {
         try {
@@ -1050,6 +1166,7 @@ ExperimentRunner::runGuarded(const std::string &bench,
                 config.faults->onLegAttempt(site, attempt);
             RunResult r = body();
             r.attempts = attempt;
+            noteLeg();
             return r;
         } catch (const fault::InjectedFault &e) {
             err = {site, "injected", e.what(), attempt};
@@ -1072,6 +1189,7 @@ ExperimentRunner::runGuarded(const std::string &bench,
     }
     warn("leg " + site + " failed (" + err.kind + ", attempt " +
          std::to_string(err.attempts) + "): " + err.message);
+    noteLeg();
     RunResult failed;
     failed.benchmark = bench;
     failed.attempts = err.attempts;
@@ -1290,7 +1408,8 @@ maybeWriteLeaderboard(const ExperimentConfig &cfg,
 /** Honor MCD_STATS_OUT / MCD_TRACE_OUT: dump merged telemetry. */
 void
 maybeWriteTelemetry(const std::vector<BenchmarkResults> &out,
-                    const obs::StatsRegistry *matrix)
+                    const obs::StatsRegistry *matrix,
+                    const obs::StatsRegistry *host)
 {
     auto writeTo = [](const char *env, auto writer) {
         const char *path = std::getenv(env);
@@ -1305,7 +1424,7 @@ maybeWriteTelemetry(const std::vector<BenchmarkResults> &out,
     };
     std::vector<NamedRun> named = namedRuns(out);
     writeTo("MCD_STATS_OUT", [&](std::ostream &os) {
-        writeTelemetryStatsJson(os, named, matrix);
+        writeTelemetryStatsJson(os, named, matrix, host);
     });
     writeTo("MCD_TRACE_OUT", [&](std::ostream &os) {
         writeTelemetryTrace(os, named);
@@ -1331,6 +1450,13 @@ effectiveConfig(const ExperimentConfig &cfg)
     if (!e.telemetry.enabled() &&
         (set("MCD_TRACE_OUT") || set("MCD_STATS_OUT"))) {
         e.telemetry = obs::TelemetryConfig::full();
+    }
+    // The invariant engine rides on top of whatever channels are
+    // already on (it is itself a telemetry channel, so it also turns
+    // enabled() on and thereby bypasses the cache).
+    if (e.telemetry.invariants.empty()) {
+        if (const char *v = std::getenv("MCD_INVARIANTS"); v && *v)
+            e.telemetry.invariants = v;
     }
     if (!e.sampling) {
         if (const char *v = std::getenv("MCD_SAMPLING"); v && *v)
@@ -1444,9 +1570,20 @@ finishMatrix(const ExperimentConfig &cfg,
 {
     obs::StatsRegistry health;
     bool degraded = matrixHealth(health, out, runner.cacheQuarantines());
+    obs::HostProfiler &prof = obs::HostProfiler::instance();
+    obs::StatsRegistry hostStats;
+    if (prof.enabled())
+        prof.publish(hostStats);
     maybeWriteJson(cfg, out);
     maybeWriteLeaderboard(cfg, out);
-    maybeWriteTelemetry(out, degraded ? &health : nullptr);
+    maybeWriteTelemetry(out, degraded ? &health : nullptr,
+                        prof.enabled() ? &hostStats : nullptr);
+    writeHostProfileFromEnv();
+    if (std::uint64_t v = countInvariantViolations(out)) {
+        warn("invariants: " + std::to_string(v) +
+             " violation(s) recorded (see results JSON "
+             "\"invariantViolations\")");
+    }
     if (degraded) {
         std::uint64_t failedLegs = 0;
         std::uint64_t totalLegs = 0;
@@ -1471,8 +1608,29 @@ runMatrix(const ExperimentConfig &cfg,
     // its (already thread-safe) lazy construction never races.
     workloads::all();
 
-    ExperimentConfig ecfg = effectiveConfig(cfg);
-    ecfg.validate();
+    // Arm (or clear) the host profiler for this matrix; every phase
+    // scope below is a no-op when MCD_PROF_OUT is unset.
+    obs::HostProfiler &hostProf = obs::HostProfiler::instance();
+    {
+        const char *p = std::getenv("MCD_PROF_OUT");
+        hostProf.reset(p && *p);
+    }
+    auto matrixStart = std::chrono::steady_clock::now();
+
+    ExperimentConfig ecfg;
+    {
+        obs::HostProfiler::Scope prof = hostProf.phase("validate");
+        ecfg = effectiveConfig(cfg);
+        ecfg.validate();
+    }
+    // Telemetry-collecting legs must actually simulate (cached rows
+    // carry no telemetry), so a configured cache is silently useless.
+    // Say so once, rather than leaving users to wonder why a cached
+    // matrix re-runs.
+    if (ecfg.telemetry.enabled() && !ecfg.cacheDir.empty()) {
+        inform("telemetry collection is on: the experiment cache is "
+               "bypassed (cached rows carry no telemetry), legs re-run");
+    }
     std::vector<BenchmarkResults> out(names.size());
     ExperimentRunner runner(ecfg);
 
@@ -1505,6 +1663,14 @@ runMatrix(const ExperimentConfig &cfg,
     // Collect in workload order, independent of completion order.
     for (std::size_t i = 0; i < names.size(); ++i)
         out[i] = pool.wait(futs[i]);
+    if (hostProf.enabled()) {
+        auto wall = std::chrono::steady_clock::now() - matrixStart;
+        hostProf.notePool(
+            pool.workerCount(), pool.tasksExecuted(), pool.busyNanos(),
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    wall).count()));
+    }
     finishMatrix(ecfg, out, runner);
     return out;
 }

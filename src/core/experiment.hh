@@ -240,8 +240,31 @@ inline constexpr int exitOk = 0;
 inline constexpr int exitPartialFailure = 3;
 inline constexpr int exitTotalFailure = 4;
 
+/**
+ * An otherwise-clean matrix recorded invariant violations and
+ * MCD_INVARIANTS_FATAL=1 is set. Leg failures outrank invariants: a
+ * matrix that is both degraded and violating exits 3/4 (the violation
+ * records are still in the JSON either way).
+ */
+inline constexpr int exitInvariantViolation = 5;
+
 /** exitOk / exitPartialFailure / exitTotalFailure for a result set. */
 int matrixExitCode(const std::vector<BenchmarkResults> &rows);
+
+/** Total invariant violations recorded across every leg's telemetry. */
+std::uint64_t
+countInvariantViolations(const std::vector<BenchmarkResults> &rows);
+
+/** True when MCD_INVARIANTS_FATAL is set to a non-empty, non-0 value. */
+bool invariantsFatalFromEnv();
+
+/**
+ * Honor MCD_PROF_OUT: write (or rewrite) the host profile file when
+ * the profiler is armed. runMatrix calls this once the matrix ends;
+ * figure drivers call it again after rendering so the final file
+ * includes the render phases too. No-op otherwise.
+ */
+void writeHostProfileFromEnv();
 
 /**
  * Cache-file serialization for BenchmarkResults (exposed so the cache
@@ -323,11 +346,14 @@ struct NamedRun
  * one JSON object: per-run registries keyed by name plus a "merged"
  * registry folding all runs together. When @p matrix is non-null its
  * entries (matrix health counters: failed/retried legs, quarantined
- * cache files) are emitted as an additional "matrix" registry.
+ * cache files) are emitted as an additional "matrix" registry; when
+ * @p host is non-null (the host profiler's registry) it is emitted as
+ * an additional "host" registry.
  */
 void writeTelemetryStatsJson(std::ostream &os,
                              const std::vector<NamedRun> &runs,
-                             const obs::StatsRegistry *matrix = nullptr);
+                             const obs::StatsRegistry *matrix = nullptr,
+                             const obs::StatsRegistry *host = nullptr);
 
 /**
  * Emit one merged Chrome trace (chrome://tracing / Perfetto JSON)

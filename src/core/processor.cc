@@ -79,9 +79,16 @@ McdProcessor::McdProcessor(const SimConfig &config, const Program &program)
     // when the caller's TelemetryConfig is all-off.
     obs::TelemetryConfig tc = cfg.telemetry;
     tc.freqSeries = tc.freqSeries || cfg.recordFreqTrace;
+    // Sampled invariants (queue_fill, energy_decreasing) need the
+    // periodic stream: an invariants-only config gets the default
+    // sampling period rather than silently checking nothing.
+    if (!tc.invariants.empty() && tc.samplePeriod == 0)
+        tc.samplePeriod = fromMicroseconds(10.0);
     if (tc.enabled())
         telem = std::make_shared<obs::Telemetry>(tc);
 
+    bool misorder =
+        cfg.faults && cfg.faults->misordersLeg(cfg.faultSite);
     if (mcd) {
         DvfsParams dp = DvfsParams::forKind(cfg.dvfs, cfg.dvfsTimeScale);
         for (int d = 0; d < numDomains; ++d) {
@@ -90,6 +97,8 @@ McdProcessor::McdProcessor(const SimConfig &config, const Program &program)
                 cfg.seed * 31337 + d * 271 + 7);
             if (telem)
                 dvfs[d]->attachTelemetry(telem.get());
+            if (misorder)
+                dvfs[d]->injectVfMisorder();
         }
     }
 
@@ -312,6 +321,16 @@ McdProcessor::run()
         dvfsWake[d] = dvfs[d] ? dvfs[d]->nextEventTime() : Actor::never;
     }
 
+    if (telem) {
+        std::array<Hertz, numDomains> f0;
+        std::array<Volt, numDomains> v0;
+        for (int d = 0; d < numDomains; ++d) {
+            f0[d] = clocks[d]->frequency();
+            v0[d] = clocks[d]->voltage();
+        }
+        telem->onRunStart(f0, v0);
+    }
+
     // An armed Stall fault suppresses the progress signal, so the run
     // looks deadlocked to the watchdog and must be cut cleanly.
     stallInjected = cfg.faults && cfg.faults->stallsLeg(cfg.faultSite);
@@ -428,6 +447,7 @@ McdProcessor::run()
     }
 
     if (telem) {
+        telem->onRunEnd(r.execTime);
         publishSummaryStats(r);
         r.telemetry = telem;
     }

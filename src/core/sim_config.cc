@@ -89,6 +89,11 @@ SimConfig::validate() const
     }
     checkFinitePositive(dvfsTimeScale, "dvfsTimeScale");
 
+    // Surface invariant-spec grammar errors here, where the caller is
+    // still assembling the run, instead of from the Telemetry ctor.
+    if (!telemetry.invariants.empty())
+        obs::InvariantEngine::parseSpec(telemetry.invariants);
+
     if (sampling) {
         sampling->validate();
         if (collectTrace)

@@ -16,6 +16,7 @@ faultKindName(FaultKind k)
       case FaultKind::Throw: return "throw";
       case FaultKind::Flaky: return "flaky";
       case FaultKind::Stall: return "stall";
+      case FaultKind::VfMisorder: return "vfmisorder";
       case FaultKind::TruncateCache: return "truncate";
       case FaultKind::CorruptCache: return "corrupt";
     }
@@ -34,8 +35,8 @@ namespace {
 badSpec(const std::string &item, const char *why)
 {
     fatal("MCD_FAULT_PLAN: bad item '" + item + "': " + why +
-          " (grammar: leg:<bench>/<leg>=throw|flaky[:k]|stall; "
-          "cache:<bench>=truncate|corrupt; seed=N)");
+          " (grammar: leg:<bench>/<leg>=throw|flaky[:k]|stall|"
+          "vfmisorder; cache:<bench>=truncate|corrupt; seed=N)");
 }
 
 } // namespace
@@ -83,6 +84,8 @@ FaultPlan::parse(const std::string &spec)
                 }
             } else if (verb == "stall") {
                 fs.kind = FaultKind::Stall;
+            } else if (verb == "vfmisorder") {
+                fs.kind = FaultKind::VfMisorder;
             } else {
                 badSpec(item, "unknown leg action");
             }
@@ -149,12 +152,21 @@ FaultPlan::stallsLeg(const std::string &site) const
 }
 
 bool
+FaultPlan::misordersLeg(const std::string &site) const
+{
+    return !site.empty() &&
+        findLeg(site, FaultKind::VfMisorder) != nullptr;
+}
+
+bool
 FaultPlan::legFaultsFor(const std::string &bench) const
 {
     std::string prefix = bench + "/";
     for (const FaultSpec &fs : armed) {
         bool legKind = fs.kind == FaultKind::Throw ||
-            fs.kind == FaultKind::Flaky || fs.kind == FaultKind::Stall;
+            fs.kind == FaultKind::Flaky ||
+            fs.kind == FaultKind::Stall ||
+            fs.kind == FaultKind::VfMisorder;
         if (legKind && fs.site.rfind(prefix, 0) == 0)
             return true;
     }

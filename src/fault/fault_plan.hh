@@ -16,7 +16,7 @@
  *     item   := 'seed=' N
  *             | 'leg:' bench '/' leg '=' legact
  *             | 'cache:' bench '=' cacheact
- *     legact := 'throw' | 'flaky' [':' k] | 'stall'
+ *     legact := 'throw' | 'flaky' [':' k] | 'stall' | 'vfmisorder'
  *     cacheact := 'truncate' | 'corrupt'
  *
  * e.g. MCD_FAULT_PLAN="leg:adpcm/dyn1=throw;cache:mst=truncate"
@@ -28,6 +28,10 @@
  *  - stall:    the leg's simulation stops making commit progress, so
  *              the McdProcessor watchdog must convert it into a
  *              structured error (pair with MCD_WATCHDOG_EDGES).
+ *  - vfmisorder: the leg's DVFS engines apply frequency rises before
+ *              the voltage ramp (DomainDvfs::injectVfMisorder), the
+ *              hazard the voltage_leads_freq invariant catches — the
+ *              leg completes, with violations on its telemetry.
  *  - truncate / corrupt: damage the benchmark's on-disk experiment
  *              cache file before it is read, forcing the checksum
  *              check and quarantine path.
@@ -54,6 +58,7 @@ enum class FaultKind : std::uint8_t {
     Throw,          //!< leg fails on every attempt
     Flaky,          //!< leg fails on the first `count` attempts
     Stall,          //!< simulation stops committing (watchdog food)
+    VfMisorder,     //!< freq rises apply before the voltage ramp
     TruncateCache,  //!< cache file loses its tail before the read
     CorruptCache,   //!< cache file payload bytes are flipped
 };
@@ -111,6 +116,9 @@ class FaultPlan
 
     /** True when the plan stalls the simulation of leg @p site. */
     bool stallsLeg(const std::string &site) const;
+
+    /** True when the plan mis-orders V/f transitions of leg @p site. */
+    bool misordersLeg(const std::string &site) const;
 
     /** True when any leg of @p bench has a Throw/Flaky/Stall armed. */
     bool legFaultsFor(const std::string &bench) const;

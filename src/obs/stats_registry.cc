@@ -37,6 +37,28 @@ Histogram::upperBound(std::size_t i) const
                               : std::numeric_limits<double>::infinity();
 }
 
+double
+Histogram::quantile(double q) const
+{
+    if (stats.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    double target = q * static_cast<double>(stats.count());
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] &&
+            static_cast<double>(cum + counts[i]) >= target) {
+            double lo = i == 0 ? stats.min() : ubounds[i - 1];
+            double hi = i < ubounds.size() ? ubounds[i] : stats.max();
+            double frac = (target - static_cast<double>(cum)) /
+                static_cast<double>(counts[i]);
+            double v = lo + frac * (hi - lo);
+            return std::clamp(v, stats.min(), stats.max());
+        }
+        cum += counts[i];
+    }
+    return stats.max();
+}
+
 void
 Histogram::merge(const Histogram &other)
 {
@@ -137,6 +159,27 @@ StatsRegistry::merge(const StatsRegistry &other)
             break;
           case StatKind::Histogram: {
             const Histogram &oh = std::get<Histogram>(oe.stat);
+            // Registration is idempotent and keeps the *existing*
+            // bounds, so a bounds mismatch here would silently misbin
+            // the other shard's counts. Fail fast, with both layouts.
+            if (const Entry *mine = find(oe.name)) {
+                const Histogram &h = std::get<Histogram>(mine->stat);
+                if (h.bounds() != oh.bounds()) {
+                    auto render = [](const std::vector<double> &b) {
+                        std::string s = "[";
+                        for (std::size_t i = 0; i < b.size(); ++i) {
+                            if (i)
+                                s += ", ";
+                            s += std::to_string(b[i]);
+                        }
+                        return s + "]";
+                    };
+                    fatal("StatsRegistry::merge: histogram '" + oe.name +
+                          "' has incompatible bucket bounds: ours " +
+                          render(h.bounds()) + " vs theirs " +
+                          render(oh.bounds()));
+                }
+            }
             histogram(oe.name, oh.bounds(), oe.desc).merge(oh);
             break;
           }
@@ -183,6 +226,12 @@ StatsRegistry::writeJson(std::ostream &os, const char *indent) const
             jsonNumber(os, s.empty() ? 0.0 : s.min());
             os << ", \"max\": ";
             jsonNumber(os, s.empty() ? 0.0 : s.max());
+            os << ", \"p50\": ";
+            jsonNumber(os, h.quantile(0.50));
+            os << ", \"p90\": ";
+            jsonNumber(os, h.quantile(0.90));
+            os << ", \"p99\": ";
+            jsonNumber(os, h.quantile(0.99));
             os << ", \"buckets\": [";
             for (std::size_t i = 0; i < h.numBuckets(); ++i) {
                 os << (i ? ", " : "") << "{\"le\": ";

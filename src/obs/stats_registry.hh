@@ -80,6 +80,14 @@ class Histogram
     /** count/sum/mean/min/max of the raw series. */
     const RunningStat &summary() const { return stats; }
 
+    /**
+     * Estimated @p q-quantile (q in [0, 1]) of the recorded series,
+     * interpolated linearly within the bucket that holds it; the edge
+     * buckets use the observed min/max instead of -inf/+inf, and the
+     * result is clamped to [min, max]. NaN when empty.
+     */
+    double quantile(double q) const;
+
     /** Combine another histogram with identical bounds. */
     void merge(const Histogram &other);
 

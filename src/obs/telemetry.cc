@@ -46,6 +46,15 @@ TelemetryConfig::full(Tick period_ps)
 Telemetry::Telemetry(const TelemetryConfig &config)
     : cfg(config), ts(config.samplePeriod), exp(config.traceEvents)
 {
+    // The invariant engine registers its counters first so the
+    // registry order (and thus the merged stats JSON) is stable no
+    // matter when the run publishes its own stats.
+    if (!cfg.invariants.empty()) {
+        inv = std::make_unique<InvariantEngine>(
+            InvariantEngine::parseSpec(cfg.invariants), reg,
+            exp.enabled() ? &exp : nullptr);
+    }
+
     // Occupancy buckets: ten even fill-fraction deciles.
     std::vector<double> occBounds;
     for (int i = 1; i <= 10; ++i)
@@ -72,11 +81,21 @@ Telemetry::Telemetry(const TelemetryConfig &config)
 }
 
 void
-Telemetry::onFrequencyChange(Domain d, Tick when, Hertz f)
+Telemetry::onRunStart(const std::array<Hertz, numDomains> &freq,
+                      const std::array<Volt, numDomains> &volt)
+{
+    if (inv)
+        inv->runStart(freq, volt);
+}
+
+void
+Telemetry::onFrequencyChange(Domain d, Tick when, Hertz f, Volt v)
 {
     freqChanges[domainIndex(d)]->inc();
     if (cfg.freqSeries)
         ts.noteFrequency(d, when, f);
+    if (inv)
+        inv->frequencyChange(d, when, f, v);
     if (exp.enabled()) {
         std::string name(domainShortName(d));
         name += " frequency";
@@ -90,6 +109,8 @@ Telemetry::onRelockWindow(Domain d, Tick start, Tick end)
     int di = domainIndex(d);
     relockWindows[di]->inc();
     relockPs[di]->inc(end - start);
+    if (inv)
+        inv->relockWindow(d, start, end);
     if (exp.enabled())
         exp.complete("PLL re-lock", "dvfs", di, start, end - start);
 }
@@ -116,6 +137,8 @@ Telemetry::onSample(const TimeSample &s)
 {
     for (int d = 0; d < numDomains; ++d)
         occupancyHist[d]->add(s.occupancy[d]);
+    if (inv)
+        inv->sample(s);
     if (exp.enabled()) {
         for (int d = 0; d < numDomains; ++d) {
             std::string name(domainShortName(static_cast<Domain>(d)));
@@ -135,6 +158,13 @@ Telemetry::onWatchdogTrip(Tick when)
         .inc();
     if (exp.enabled())
         exp.instant("watchdog trip", "fault", 0, when);
+}
+
+void
+Telemetry::onRunEnd(Tick execTime)
+{
+    if (inv)
+        inv->runEnd(execTime);
 }
 
 } // namespace obs

@@ -21,8 +21,11 @@
 #define MCD_OBS_TELEMETRY_HH
 
 #include <array>
+#include <memory>
+#include <string>
 
 #include "common/types.hh"
+#include "obs/invariants.hh"
 #include "obs/stats_registry.hh"
 #include "obs/time_series.hh"
 #include "obs/trace_export.hh"
@@ -42,10 +45,19 @@ struct TelemetryConfig
     /** Record exact per-domain frequency series (Figure 8). */
     bool freqSeries = false;
 
+    /**
+     * Invariant spec (see obs/invariants.hh for the grammar); empty =
+     * no engine. Deliberately NOT part of full(): the golden results
+     * fixture is produced with full telemetry and must stay
+     * byte-identical when invariants are off.
+     */
+    std::string invariants;
+
     bool
     enabled() const
     {
-        return samplePeriod != 0 || traceEvents || freqSeries;
+        return samplePeriod != 0 || traceEvents || freqSeries ||
+               !invariants.empty();
     }
 
     /** Everything on, sampling at @p period_ps (default 10 us). */
@@ -66,10 +78,21 @@ class Telemetry
     TraceExporter &trace() { return exp; }
     const TraceExporter &trace() const { return exp; }
 
+    /** The invariant engine, or nullptr when no spec was configured. */
+    InvariantEngine *invariants() { return inv.get(); }
+    const InvariantEngine *invariants() const { return inv.get(); }
+
     // ----- hooks, called by the instrumented components -----
 
-    /** Domain @p d switched to frequency @p f at time @p when. */
-    void onFrequencyChange(Domain d, Tick when, Hertz f);
+    /** Initial per-domain operating points, before the first edge. */
+    void onRunStart(const std::array<Hertz, numDomains> &freq,
+                    const std::array<Volt, numDomains> &volt);
+
+    /**
+     * Domain @p d switched to frequency @p f at time @p when with its
+     * voltage rail at @p v.
+     */
+    void onFrequencyChange(Domain d, Tick when, Hertz f, Volt v);
 
     /** Domain @p d is idle re-locking its PLL over [start, end). */
     void onRelockWindow(Domain d, Tick start, Tick end);
@@ -91,11 +114,15 @@ class Telemetry
      */
     void onWatchdogTrip(Tick when);
 
+    /** End of run: final invariant evaluation at @p execTime. */
+    void onRunEnd(Tick execTime);
+
   private:
     TelemetryConfig cfg;
     StatsRegistry reg;
     TimeSeriesSampler ts;
     TraceExporter exp;
+    std::unique_ptr<InvariantEngine> inv;
 
     // Pre-registered hot-path stats (stable registry references).
     std::array<Counter *, numDomains> freqChanges{};

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the host-side run profiler (src/obs/host_prof.*): scoped
+ * phases, leg and pool accounting, the aggregated host.* stats view,
+ * and the standalone Chrome-trace profile.
+ */
+
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/host_prof.hh"
+#include "obs/stats_registry.hh"
+
+namespace mcd {
+namespace {
+
+using obs::HostProfiler;
+using obs::StatsRegistry;
+
+/** Re-arm the singleton and guarantee it is disarmed on exit. */
+struct Armed
+{
+    Armed() { HostProfiler::instance().reset(true); }
+    ~Armed() { HostProfiler::instance().reset(false); }
+};
+
+TEST(HostProfiler, DisabledScopesRecordNothing)
+{
+    HostProfiler &prof = HostProfiler::instance();
+    prof.reset(false);
+    EXPECT_FALSE(prof.enabled());
+    { HostProfiler::Scope s = prof.phase("simulate", "adpcm/dyn5"); }
+    prof.noteLeg("adpcm/dyn5", 12.0, 1000);
+
+    StatsRegistry reg;
+    prof.publish(reg);
+    EXPECT_EQ(reg.find("host.phase.simulate.count"), nullptr);
+    EXPECT_EQ(reg.find("host.leg.adpcm/dyn5.wall_ms"), nullptr);
+}
+
+TEST(HostProfiler, PublishAggregatesPhasesLegsAndPool)
+{
+    Armed armed;
+    HostProfiler &prof = HostProfiler::instance();
+    {
+        HostProfiler::Scope a = prof.phase("simulate", "adpcm/baseline");
+        HostProfiler::Scope b = prof.phase("simulate", "adpcm/dyn5");
+        HostProfiler::Scope c = prof.phase("validate");
+    }
+    prof.noteLeg("adpcm/baseline", 10.5, 2048);
+    prof.noteLeg("adpcm/dyn5", 20.25, 4096);
+    // A retried leg reports once, with the latest numbers.
+    prof.noteLeg("adpcm/dyn5", 21.0, 5000);
+    // 2 workers, 4 tasks, 1.5 s busy over a 1 s matrix: utilization
+    // 0.75 of the 2-worker capacity.
+    prof.notePool(2, 4, 1'500'000'000ull, 1'000'000'000ull);
+
+    StatsRegistry reg;
+    prof.publish(reg);
+
+    const auto *count = reg.find("host.phase.simulate.count");
+    ASSERT_NE(count, nullptr);
+    EXPECT_EQ(std::get<obs::Counter>(count->stat).value(), 2u);
+    EXPECT_NE(reg.find("host.phase.simulate.total_ms"), nullptr);
+    EXPECT_NE(reg.find("host.phase.simulate.max_ms"), nullptr);
+    EXPECT_NE(reg.find("host.phase.validate.count"), nullptr);
+
+    const auto *wall = reg.find("host.leg.adpcm/dyn5.wall_ms");
+    ASSERT_NE(wall, nullptr);
+    EXPECT_DOUBLE_EQ(std::get<obs::Gauge>(wall->stat).value(), 21.0);
+    const auto *rss = reg.find("host.leg.adpcm/dyn5.peak_rss_kb");
+    ASSERT_NE(rss, nullptr);
+    EXPECT_DOUBLE_EQ(std::get<obs::Gauge>(rss->stat).value(), 5000.0);
+
+    const auto *workers = reg.find("host.pool.workers");
+    ASSERT_NE(workers, nullptr);
+    EXPECT_DOUBLE_EQ(std::get<obs::Gauge>(workers->stat).value(), 2.0);
+    const auto *util = reg.find("host.pool.utilization");
+    ASSERT_NE(util, nullptr);
+    EXPECT_NEAR(std::get<obs::Gauge>(util->stat).value(), 0.75, 1e-12);
+
+    // The key set is deterministic: publishing twice into fresh
+    // registries yields the same names in the same order.
+    StatsRegistry reg2;
+    prof.publish(reg2);
+    ASSERT_EQ(reg.size(), reg2.size());
+    for (std::size_t i = 0; i < reg.size(); ++i)
+        EXPECT_EQ(reg.entries()[i].name, reg2.entries()[i].name);
+}
+
+TEST(HostProfiler, WriteProfileEmitsChromeTraceWithHostSummary)
+{
+    Armed armed;
+    HostProfiler &prof = HostProfiler::instance();
+    {
+        HostProfiler::Scope s = prof.phase("simulate", "mst/online");
+    }
+    std::thread t([&] {
+        HostProfiler::Scope s = prof.phase("analyze", "mst/dyn1");
+    });
+    t.join();
+    prof.noteLeg("mst/online", 5.0, 100);
+    prof.notePool(4, 8, 2'000'000'000ull, 1'000'000'000ull);
+
+    std::ostringstream os;
+    prof.writeProfile(os);
+    std::string text = os.str();
+    for (const char *key :
+         {"\"traceEvents\"", "\"process_name\"", "\"host\"",
+          "\"simulate\"", "\"analyze\"", "\"mst/online\"",
+          "\"phases\"", "\"legs\"", "\"pool\"", "\"peakRssKb\"",
+          "\"ph\": \"X\""}) {
+        EXPECT_NE(text.find(key), std::string::npos) << key;
+    }
+    // Two distinct host threads: two thread-name lanes.
+    std::size_t lanes = 0;
+    for (std::size_t p = text.find("\"thread_name\"");
+         p != std::string::npos;
+         p = text.find("\"thread_name\"", p + 1)) {
+        ++lanes;
+    }
+    EXPECT_EQ(lanes, 2u);
+}
+
+TEST(HostProfiler, ResetDropsRecordedData)
+{
+    Armed armed;
+    HostProfiler &prof = HostProfiler::instance();
+    { HostProfiler::Scope s = prof.phase("render", "fig5"); }
+    prof.reset(true);
+    StatsRegistry reg;
+    prof.publish(reg);
+    EXPECT_EQ(reg.find("host.phase.render.count"), nullptr);
+}
+
+TEST(HostProfiler, PeakRssIsNonZeroOnSupportedPlatforms)
+{
+#if defined(__unix__) || defined(__APPLE__)
+    EXPECT_GT(HostProfiler::peakRssKb(), 0u);
+#else
+    GTEST_SKIP() << "no getrusage on this platform";
+#endif
+}
+
+} // namespace
+} // namespace mcd

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Tests for the telemetry invariant engine (src/obs/invariants.*):
+ * the spec grammar, each metric's detection logic driven directly
+ * through the hooks, clean-run silence on real simulations, and the
+ * fault-injected violation path through the experiment matrix
+ * (deterministic across job counts).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/schedule.hh"
+#include "clock/operating_points.hh"
+#include "common/log.hh"
+#include "core/experiment.hh"
+#include "core/processor.hh"
+#include "fault/fault_plan.hh"
+#include "obs/invariants.hh"
+#include "obs/stats_registry.hh"
+#include "workloads/workloads.hh"
+
+namespace mcd {
+namespace {
+
+using obs::InvariantEngine;
+using obs::InvariantMetric;
+using obs::InvariantRule;
+using obs::InvariantViolation;
+using obs::StatsRegistry;
+using obs::TimeSample;
+
+TEST(InvariantSpec, DefaultAliasesSpliceTheBuiltinSet)
+{
+    std::vector<InvariantRule> def = InvariantEngine::defaultRules();
+    ASSERT_FALSE(def.empty());
+    for (const char *alias : {"default", "1", "on"}) {
+        std::vector<InvariantRule> got = InvariantEngine::parseSpec(alias);
+        ASSERT_EQ(got.size(), def.size()) << alias;
+        for (std::size_t i = 0; i < def.size(); ++i)
+            EXPECT_EQ(got[i].text, def[i].text) << alias;
+    }
+    // The built-in set covers every metric.
+    bool seen[6] = {};
+    for (const InvariantRule &r : def)
+        seen[static_cast<int>(r.metric)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(InvariantSpec, RulesCompileToCanonicalText)
+{
+    std::vector<InvariantRule> rules = InvariantEngine::parseSpec(
+        " dilation <= 0.12 ; queue_fill<=capacity ;"
+        "voltage_leads_freq == never ");
+    ASSERT_EQ(rules.size(), 3u);
+    EXPECT_EQ(rules[0].metric, InvariantMetric::Dilation);
+    EXPECT_DOUBLE_EQ(rules[0].bound, 0.12);
+    EXPECT_EQ(rules[0].text, "dilation<=0.12");
+    EXPECT_EQ(rules[1].metric, InvariantMetric::QueueFill);
+    EXPECT_DOUBLE_EQ(rules[1].bound, 1.0);  // capacity == full
+    EXPECT_EQ(rules[2].text, "voltage_leads_freq==never");
+}
+
+TEST(InvariantSpec, MalformedSpecsAreFatal)
+{
+    for (const char *bad : {
+             "nope<=1",                  // unknown metric
+             "dilation==never",          // wrong operator for metric
+             "voltage_leads_freq<=0.5",  // wrong operator for metric
+             "voltage_leads_freq==always", // never-metrics take 'never'
+             "freq_in_table==never",     // always-metric takes 'always'
+             "dilation<=",               // missing bound
+             "dilation<=banana",         // non-numeric bound
+             "dilation<=-0.5",           // negative bound
+             "queue_fill",               // no operator at all
+             "@/no/such/spec/file",      // unreadable file
+         }) {
+        EXPECT_THROW(InvariantEngine::parseSpec(bad), FatalError) << bad;
+    }
+}
+
+TEST(InvariantSpec, FileSpecsReadRulesPerLine)
+{
+    std::string path = ::testing::TempDir() + "invariants_spec.txt";
+    {
+        std::ofstream os(path);
+        os << "# paper bounds, tightened\n"
+           << "dilation<=0.25\n"
+           << "\n"
+           << "relock_overlap==never; freq_in_table==always\n";
+    }
+    std::vector<InvariantRule> rules =
+        InvariantEngine::parseSpec("@" + path);
+    ASSERT_EQ(rules.size(), 3u);
+    EXPECT_EQ(rules[0].text, "dilation<=0.25");
+    EXPECT_EQ(rules[1].text, "relock_overlap==never");
+    EXPECT_EQ(rules[2].text, "freq_in_table==always");
+    std::remove(path.c_str());
+}
+
+/** Engine wired to just the given rules, no trace exporter. */
+struct Harness
+{
+    StatsRegistry reg;
+    InvariantEngine eng;
+
+    explicit Harness(const std::string &spec)
+        : eng(InvariantEngine::parseSpec(spec), reg, nullptr)
+    {}
+};
+
+TEST(InvariantEngine, VoltageLeadsFreqTripsOnUndervoltedRise)
+{
+    Harness h("voltage_leads_freq==never");
+    DvfsTable table;
+    // 1 GHz at the table's top voltage: fine.
+    h.eng.frequencyChange(Domain::Integer, 100, table.maxFrequency(),
+                          table.voltageFor(table.maxFrequency()));
+    EXPECT_EQ(h.eng.violations(), 0u);
+    // 1 GHz on a mid-table rail: the undervolted hazard.
+    h.eng.frequencyChange(Domain::Integer, 250, table.maxFrequency(),
+                          0.8);
+    ASSERT_EQ(h.eng.violations(), 1u);
+    const InvariantViolation &v = h.eng.records().at(0);
+    EXPECT_EQ(v.rule, "voltage_leads_freq==never");
+    EXPECT_EQ(v.domain, Domain::Integer);
+    EXPECT_EQ(v.tick, 250u);
+    EXPECT_DOUBLE_EQ(v.observed, 0.8);
+    EXPECT_GT(v.bound, 0.8);    // the voltage the table demands
+}
+
+TEST(InvariantEngine, RelockOverlapTripsOnOverlappingWindows)
+{
+    Harness h("relock_overlap==never");
+    h.eng.relockWindow(Domain::Integer, 1000, 2000);
+    h.eng.relockWindow(Domain::LoadStore, 1500, 2500); // other domain: ok
+    EXPECT_EQ(h.eng.violations(), 0u);
+    h.eng.relockWindow(Domain::Integer, 1500, 3000);   // overlaps by 500
+    ASSERT_EQ(h.eng.violations(), 1u);
+    EXPECT_EQ(h.eng.records().at(0).tick, 1500u);
+    EXPECT_DOUBLE_EQ(h.eng.records().at(0).observed, 500.0);
+}
+
+TEST(InvariantEngine, SampleChecksQueueFillAndEnergyMonotonicity)
+{
+    Harness h("queue_fill<=0.9;energy_decreasing==never");
+    TimeSample s;
+    s.when = 1000;
+    s.occupancy[domainIndex(Domain::Integer)] = 0.9;   // at the bound
+    s.energy[domainIndex(Domain::Integer)] = 5.0;
+    h.eng.sample(s);
+    EXPECT_EQ(h.eng.violations(), 0u);
+
+    s.when = 2000;
+    s.occupancy[domainIndex(Domain::Integer)] = 0.95;  // over
+    s.energy[domainIndex(Domain::Integer)] = 4.0;      // went backwards
+    h.eng.sample(s);
+    EXPECT_EQ(h.eng.violations(), 2u);
+    ASSERT_EQ(h.eng.records().size(), 2u);
+    EXPECT_EQ(h.eng.records()[0].rule, "queue_fill<=0.9");
+    EXPECT_EQ(h.eng.records()[1].rule, "energy_decreasing==never");
+
+    // Per-rule counters carry the split.
+    const auto *qf = h.reg.find("invariants.violations.queue_fill");
+    ASSERT_NE(qf, nullptr);
+    EXPECT_EQ(std::get<obs::Counter>(qf->stat).value(), 1u);
+}
+
+TEST(InvariantEngine, FreqInTableTripsOutsideTheRange)
+{
+    Harness h("freq_in_table==always");
+    DvfsTable table;
+    h.eng.frequencyChange(Domain::Integer, 10, table.minFrequency(),
+                          1.2);
+    EXPECT_EQ(h.eng.violations(), 0u);
+    h.eng.frequencyChange(Domain::Integer, 20, 2.0 * table.maxFrequency(),
+                          1.2);
+    EXPECT_EQ(h.eng.violations(), 1u);
+}
+
+TEST(InvariantEngine, DilationEvaluatesAtRunEnd)
+{
+    Harness h("dilation<=0.1");
+    // 30% of a 10 us run spent re-locking the INT PLL.
+    h.eng.relockWindow(Domain::Integer, 1'000'000, 4'000'000);
+    EXPECT_EQ(h.eng.violations(), 0u);   // nothing until the end
+    h.eng.runEnd(10'000'000);
+    ASSERT_EQ(h.eng.violations(), 1u);
+    const InvariantViolation &v = h.eng.records().at(0);
+    EXPECT_EQ(v.rule, "dilation<=0.1");
+    EXPECT_NEAR(v.observed, 0.3, 1e-12);
+
+    // A quiet domain with no re-locks is never evaluated.
+    Harness quiet("dilation<=0.0000001");
+    quiet.eng.runEnd(10'000'000);
+    EXPECT_EQ(quiet.eng.violations(), 0u);
+}
+
+TEST(InvariantEngine, RecordsAreCappedButCountersAreNot)
+{
+    Harness h("relock_overlap==never");
+    h.eng.relockWindow(Domain::Integer, 0, 1000);
+    for (std::uint64_t i = 0; i < InvariantEngine::maxRecords + 10; ++i)
+        h.eng.relockWindow(Domain::Integer, 10 + i, 1000);
+    EXPECT_EQ(h.eng.violations(), InvariantEngine::maxRecords + 10);
+    EXPECT_EQ(h.eng.records().size(), InvariantEngine::maxRecords);
+}
+
+TEST(InvariantEngine, CleanRunReportsZeroViolations)
+{
+    Program p = workloads::build("adpcm", 1);
+
+    ReconfigSchedule sched;
+    sched.add(fromMicroseconds(5.0), Domain::Integer, 500e6);
+    sched.add(fromMicroseconds(30.0), Domain::Integer, 1e9);
+
+    for (DvfsKind model : {DvfsKind::Transmeta, DvfsKind::XScale}) {
+        SimConfig cfg;
+        cfg.clocking = ClockingStyle::Mcd;
+        cfg.dvfs = model;
+        cfg.dvfsTimeScale = 0.2;
+        cfg.schedule = &sched;
+        cfg.telemetry.invariants = "default";
+        cfg.maxInstructions = 60000;
+
+        RunResult r = McdProcessor(cfg, p).run();
+        ASSERT_NE(r.telemetry, nullptr);
+        const InvariantEngine *inv = r.telemetry->invariants();
+        ASSERT_NE(inv, nullptr) << dvfsKindName(model);
+        EXPECT_GT(inv->checks(), 0u) << dvfsKindName(model);
+        EXPECT_EQ(inv->violations(), 0u) << dvfsKindName(model);
+        EXPECT_TRUE(inv->records().empty()) << dvfsKindName(model);
+    }
+}
+
+TEST(InvariantEngine, BadSpecFailsSimConfigValidation)
+{
+    SimConfig cfg;
+    cfg.telemetry.invariants = "dilation<=purple";
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    ExperimentConfig ec;
+    ec.telemetry.invariants = "not_a_metric==never";
+    EXPECT_THROW(ec.validate(), FatalError);
+}
+
+/**
+ * The fault-injection acceptance path: a vfmisorder fault plan makes
+ * the dyn5 leg apply a rising frequency before its voltage ramp, and
+ * the default rule set pins the breach to an exact tick — identically
+ * at any job count.
+ */
+TEST(InvariantEngine, InjectedMisorderTripsDeterministically)
+{
+    auto run = [](int jobs) {
+        ExperimentConfig ec;
+        ec.telemetry.invariants = "default";
+        ec.faults = std::make_shared<const fault::FaultPlan>(
+            fault::FaultPlan::parse("leg:adpcm/dyn5=vfmisorder"));
+        return runMatrix(ec, {"adpcm"}, jobs);
+    };
+
+    std::vector<BenchmarkResults> serial = run(1);
+    std::vector<BenchmarkResults> parallel = run(3);
+
+    for (const auto *rows : {&serial, &parallel}) {
+        ASSERT_EQ(rows->size(), 1u);
+        const RunResult &dyn5 = rows->at(0).leg("dyn5");
+        ASSERT_FALSE(dyn5.failed());
+        ASSERT_NE(dyn5.telemetry, nullptr);
+        const InvariantEngine *inv = dyn5.telemetry->invariants();
+        ASSERT_NE(inv, nullptr);
+        EXPECT_GT(inv->violations(), 0u);
+        ASSERT_FALSE(inv->records().empty());
+        EXPECT_EQ(inv->records()[0].rule, "voltage_leads_freq==never");
+        // The untouched legs stay clean.
+        EXPECT_EQ(rows->at(0).mcdBaseline.telemetry->invariants()
+                      ->violations(),
+                  0u);
+    }
+
+    // Bit-identical breach records at jobs=1 vs jobs=3.
+    const auto &a = serial[0].leg("dyn5").telemetry->invariants();
+    const auto &b = parallel[0].leg("dyn5").telemetry->invariants();
+    ASSERT_EQ(a->records().size(), b->records().size());
+    for (std::size_t i = 0; i < a->records().size(); ++i) {
+        EXPECT_EQ(a->records()[i].rule, b->records()[i].rule);
+        EXPECT_EQ(a->records()[i].domain, b->records()[i].domain);
+        EXPECT_EQ(a->records()[i].tick, b->records()[i].tick);
+        EXPECT_DOUBLE_EQ(a->records()[i].observed,
+                         b->records()[i].observed);
+    }
+
+    // The matrix-level helpers see the same totals.
+    EXPECT_EQ(countInvariantViolations(serial),
+              countInvariantViolations(parallel));
+    EXPECT_GT(countInvariantViolations(serial), 0u);
+
+    // ...and the violations reach the results document.
+    std::ostringstream os;
+    writeResultsJson(os, ExperimentConfig{}, serial);
+    std::string text = os.str();
+    EXPECT_NE(text.find("\"invariantViolations\""), std::string::npos);
+    EXPECT_NE(text.find("voltage_leads_freq==never"), std::string::npos);
+}
+
+TEST(InvariantEngine, FatalEnvKnob)
+{
+    ::unsetenv("MCD_INVARIANTS_FATAL");
+    EXPECT_FALSE(invariantsFatalFromEnv());
+    ::setenv("MCD_INVARIANTS_FATAL", "0", 1);
+    EXPECT_FALSE(invariantsFatalFromEnv());
+    ::setenv("MCD_INVARIANTS_FATAL", "1", 1);
+    EXPECT_TRUE(invariantsFatalFromEnv());
+    ::unsetenv("MCD_INVARIANTS_FATAL");
+    EXPECT_EQ(exitInvariantViolation, 5);
+}
+
+} // namespace
+} // namespace mcd

@@ -5,14 +5,17 @@
  * and the experiment matrix.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "analysis/schedule.hh"
+#include "common/log.hh"
 #include "core/experiment.hh"
 #include "core/processor.hh"
 #include "obs/stats_registry.hh"
@@ -375,6 +378,92 @@ TEST(Telemetry, MatrixTelemetryIsDeterministicAcrossJobCounts)
           "\"run.committed\""}) {
         EXPECT_NE(serial.find(key), std::string::npos) << key;
     }
+}
+
+/**
+ * Trace process naming is driven by the leg names: a tournament
+ * matrix (every zoo controller plus the oracle) must give each leg
+ * its own distinctly named trace process, with the whole document
+ * byte-identical at jobs=1 and jobs=8.
+ */
+TEST(Telemetry, TournamentTraceProcessNamesAreUniqueAndDeterministic)
+{
+    ExperimentConfig ec;
+    ec.telemetry.traceEvents = true;
+    ec.legs = tournamentLegs(ec);
+    ASSERT_GE(ec.legs.size(), 6u);
+
+    auto render = [&](int jobs) {
+        std::vector<BenchmarkResults> rows =
+            runMatrix(ec, {"adpcm"}, jobs);
+        std::ostringstream os;
+        writeTelemetryTrace(os, namedRuns(rows));
+        return os.str();
+    };
+    std::string serial = render(1);
+    EXPECT_EQ(serial, render(8));
+
+    // One process_name record per run, and no two runs share a name.
+    std::vector<std::string> names;
+    const std::string tag = "\"process_name\"";
+    for (std::size_t p = serial.find(tag); p != std::string::npos;
+         p = serial.find(tag, p + 1)) {
+        std::size_t np = serial.find("\"name\": \"", p);
+        ASSERT_NE(np, std::string::npos);
+        np += 9;
+        names.push_back(serial.substr(np, serial.find('"', np) - np));
+    }
+    // baseline + mcdBaseline + every tournament leg.
+    ASSERT_EQ(names.size(), ec.legs.size() + 2);
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(std::adjacent_find(names.begin(), names.end()),
+              names.end())
+        << "duplicate trace process name";
+    EXPECT_NE(std::find(names.begin(), names.end(), "adpcm/dyn5"),
+              names.end());
+}
+
+TEST(StatsRegistry, HistogramJsonCarriesPercentiles)
+{
+    StatsRegistry reg;
+    Histogram &h = reg.histogram("lat", {1.0, 2.0, 4.0});
+    for (double v : {0.5, 1.5, 1.6, 1.7, 2.5, 3.0, 3.5, 3.9, 3.95, 3.99})
+        h.add(v);
+    // p50 falls in the (2, 4] bucket: 4 of 10 at or below 2.0, the
+    // interpolated point sits 1/6 into the bucket's [2, 4] span.
+    EXPECT_NEAR(h.quantile(0.5), 2.0 + (5.0 - 4.0) / 6.0 * 2.0, 1e-12);
+    // Quantiles never escape the observed range.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.99);
+    // Empty histogram: percentiles render as null, not NaN.
+    reg.histogram("empty", {1.0});
+
+    std::ostringstream os;
+    reg.writeJson(os);
+    std::string text = os.str();
+    expectBalancedJson(text);
+    for (const char *key : {"\"p50\"", "\"p90\"", "\"p99\""})
+        EXPECT_NE(text.find(key), std::string::npos) << key;
+    EXPECT_NE(text.find("\"p50\": null"), std::string::npos);
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+}
+
+TEST(StatsRegistry, MergeRejectsMismatchedHistogramBounds)
+{
+    StatsRegistry a;
+    a.histogram("h", {1.0, 2.0}).add(0.5);
+    StatsRegistry b;
+    b.histogram("h", {1.0, 3.0}).add(0.5);
+    EXPECT_THROW(a.merge(b), FatalError);
+
+    // Same name, same bounds still merges; absent-here entries adopt
+    // the other's bounds.
+    StatsRegistry c;
+    c.histogram("h", {1.0, 2.0}).add(1.5);
+    c.histogram("only_c", {9.0}).add(1.0);
+    a.merge(c);
+    EXPECT_EQ(a.histogram("h", {1.0, 2.0}).summary().count(), 2u);
+    EXPECT_EQ(a.histogram("only_c", {9.0}).summary().count(), 1u);
 }
 
 TEST(Telemetry, ResultsJsonCarriesStatsWhenEnabled)
