@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The soak driver binary: run a seeded budget of fuzzed scenario
+ * tuples under the default invariant set, classify every outcome,
+ * shrink findings, and persist replayable repros.
+ *
+ *   mcd_soak [--seed N] [--budget N] [--jobs N] [--out DIR]
+ *            [--plant <leg>=<action>] [--no-shrink]
+ *            [--shrink-runs N] [--quiet]
+ *   mcd_soak --repro FILE
+ *
+ * Environment fallbacks (MCD_SOAK mode, for CI wrappers that cannot
+ * pass flags): MCD_SOAK_SEED, MCD_SOAK_BUDGET, MCD_SOAK_JOBS,
+ * MCD_SOAK_OUT, MCD_SOAK_PLANT.
+ *
+ * Exit codes: 0 = clean soak (or a --repro replay that reproduced its
+ * recorded signature); 1 = findings were recorded (or the replay did
+ * not match); 2 = usage/configuration error.
+ *
+ * With --out, DIR/journal.txt records every completed tuple as it
+ * finishes — re-running the same seed resumes after an interruption
+ * instead of repeating finished tuples — and DIR/corpus/ collects one
+ * minimized repro JSON per finding.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fuzz/soak.hh"
+
+#include "example_util.hh"
+
+namespace {
+
+std::uint64_t
+parseU64Arg(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(value, &end, 10);
+    if (!end || *end) {
+        std::fprintf(stderr, "%s requires an unsigned integer (got "
+                     "'%s')\n", flag, value);
+        std::exit(2);
+    }
+    return v;
+}
+
+const char *
+envOr(const char *var, const char *fallback)
+{
+    const char *v = std::getenv(var);
+    return v && *v ? v : fallback;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return mcd::exutil::guardedMain([&]() -> int {
+        mcd::fuzz::SoakOptions opts;
+        opts.rootSeed = parseU64Arg("MCD_SOAK_SEED",
+                                    envOr("MCD_SOAK_SEED", "1"));
+        opts.budget = static_cast<int>(
+            parseU64Arg("MCD_SOAK_BUDGET",
+                        envOr("MCD_SOAK_BUDGET", "25")));
+        opts.jobs = static_cast<int>(
+            parseU64Arg("MCD_SOAK_JOBS", envOr("MCD_SOAK_JOBS", "1")));
+        opts.outDir = envOr("MCD_SOAK_OUT", "");
+        opts.planted = envOr("MCD_SOAK_PLANT", "");
+        opts.progress = true;
+        std::string reproPath;
+
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            auto value = [&]() -> const char * {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "%s requires a value\n",
+                                 arg.c_str());
+                    std::exit(2);
+                }
+                return argv[++i];
+            };
+            if (arg == "--seed") {
+                opts.rootSeed = parseU64Arg("--seed", value());
+            } else if (arg == "--budget") {
+                opts.budget = static_cast<int>(
+                    parseU64Arg("--budget", value()));
+            } else if (arg == "--jobs") {
+                opts.jobs = static_cast<int>(
+                    parseU64Arg("--jobs", value()));
+            } else if (arg == "--out") {
+                opts.outDir = value();
+            } else if (arg == "--plant") {
+                opts.planted = value();
+            } else if (arg == "--no-shrink") {
+                opts.shrink = false;
+            } else if (arg == "--shrink-runs") {
+                opts.shrinkRuns = static_cast<int>(
+                    parseU64Arg("--shrink-runs", value()));
+            } else if (arg == "--quiet") {
+                opts.progress = false;
+            } else if (arg == "--repro") {
+                reproPath = value();
+            } else {
+                std::fprintf(stderr, "unknown argument '%s'\n",
+                             arg.c_str());
+                return 2;
+            }
+        }
+
+        if (!reproPath.empty()) {
+            mcd::fuzz::ReplayResult r =
+                mcd::fuzz::replayRepro(reproPath);
+            if (!r.loaded) {
+                std::fprintf(stderr,
+                             "cannot load repro file %s\n",
+                             reproPath.c_str());
+                return 2;
+            }
+            std::printf("repro %s\n  recorded: %s\n  replayed: %s%s%s"
+                        "\n  %s\n",
+                        reproPath.c_str(), r.recorded.c_str(),
+                        mcd::fuzz::outcomeClassName(r.outcome.cls),
+                        r.outcome.failed() ? " " : "",
+                        r.outcome.signature.c_str(),
+                        r.matched ? "MATCH" : "MISMATCH");
+            return r.matched ? 0 : 1;
+        }
+
+        std::printf("MCD soak: seed %llu, budget %d, jobs %d%s%s\n",
+                    static_cast<unsigned long long>(opts.rootSeed),
+                    opts.budget, opts.jobs,
+                    opts.planted.empty() ? "" : ", planted ",
+                    opts.planted.c_str());
+        mcd::fuzz::SoakReport report = mcd::fuzz::runSoak(opts);
+        std::printf("  ran %llu tuple(s), resumed past %llu, "
+                    "%zu new finding(s), %llu prior\n",
+                    static_cast<unsigned long long>(report.completed),
+                    static_cast<unsigned long long>(report.resumed),
+                    report.findings.size(),
+                    static_cast<unsigned long long>(
+                        report.priorFindings));
+        for (const mcd::fuzz::SoakFinding &f : report.findings) {
+            std::printf("  FINDING tuple %llu: %s %s%s%s\n",
+                        static_cast<unsigned long long>(f.index),
+                        mcd::fuzz::outcomeClassName(f.outcome.cls),
+                        f.outcome.signature.c_str(),
+                        f.reproPath.empty() ? "" : " -> ",
+                        f.reproPath.c_str());
+        }
+        if (report.clean())
+            std::printf("  clean\n");
+        return mcd::fuzz::soakExitCode(report);
+    });
+}

@@ -12,8 +12,64 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string_view>
 
 namespace mcd {
+
+/**
+ * One splitmix64 step: advance @p state and return the next value.
+ * The standard seeding/stream-splitting primitive: full-period,
+ * avalanching, and cheap enough to run a few rounds per derivation.
+ */
+inline std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Derive an independent sub-seed for the named stream of a root seed.
+ *
+ * Different stream names (or different roots) give statistically
+ * independent generators, so components that each need their own
+ * deterministic randomness — the workload generator, the config
+ * fuzzer, fault-plan sampling — can all draw from one user-visible
+ * seed without their draws interleaving: adding a draw to one stream
+ * never perturbs another.
+ *
+ * The name is FNV-1a-hashed into the root, then two splitmix64
+ * rounds spread the (possibly low-entropy) combination across all 64
+ * bits. Purely a function of (root, stream): stable across platforms
+ * and processes.
+ */
+inline std::uint64_t
+streamSeed(std::uint64_t root, std::string_view stream)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : stream) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    std::uint64_t s = root ^ h;
+    splitmix64(s);
+    return splitmix64(s);
+}
+
+/**
+ * Fold an index into a stream seed (e.g. per-tuple streams of a soak
+ * run): deterministic, and adjacent indices land far apart.
+ */
+inline std::uint64_t
+streamSeedAt(std::uint64_t root, std::string_view stream,
+             std::uint64_t index)
+{
+    std::uint64_t s = streamSeed(root, stream) ^
+        (index * 0xd1342543de82ef95ULL);
+    return splitmix64(s);
+}
 
 /**
  * xorshift64* generator with Box-Muller Gaussian sampling.
@@ -110,6 +166,13 @@ class Rng
     bool hasSpare = false;
     double spare = 0.0;
 };
+
+/** An Rng seeded for the named stream of @p root (see streamSeed). */
+inline Rng
+streamRng(std::uint64_t root, std::string_view stream)
+{
+    return Rng(streamSeed(root, stream));
+}
 
 } // namespace mcd
 

@@ -120,6 +120,133 @@ LegSpec::keyToken() const
     return name;
 }
 
+namespace {
+
+/** Shortest-round-trip double formatting (17 digits always parse
+ *  back to the same bits; trim to the shortest prefix that does). */
+std::string
+doubleSpec(double v)
+{
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::ostringstream os;
+        os << std::setprecision(prec) << v;
+        if (std::stod(os.str()) == v)
+            return os.str();
+    }
+    std::ostringstream os;
+    os << std::setprecision(17) << v;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+LegSpec::toSpec() const
+{
+    std::string head = name;
+    if (!display.empty() && display != name)
+        head += "~" + display;
+    switch (kind) {
+      case Kind::ScheduleReplay:
+        return head + "=replay:" + doubleSpec(dilation);
+      case Kind::GlobalSearch:
+        return head + "=global:" + reference;
+      case Kind::Controller:
+        return head + "=ctrl:" + controller +
+            (params.empty() ? std::string() : "@" + params);
+    }
+    return head;
+}
+
+LegSpec
+LegSpec::fromSpec(const std::string &spec)
+{
+    auto bad = [&](const std::string &why) {
+        fatal("LegSpec: malformed spec '" + spec + "': " + why +
+              " (grammar: name[~display]=replay:<dilation>|"
+              "global:<ref>|ctrl:<name>[@<params>])");
+    };
+    std::size_t eq = spec.find('=');
+    if (eq == std::string::npos)
+        bad("missing '='");
+    std::string head = spec.substr(0, eq);
+    std::string body = spec.substr(eq + 1);
+    std::string name = head;
+    std::string display;
+    std::size_t tilde = head.find('~');
+    if (tilde != std::string::npos) {
+        name = head.substr(0, tilde);
+        display = head.substr(tilde + 1);
+        if (display.empty())
+            bad("empty display after '~'");
+    }
+    if (name.empty())
+        bad("empty leg name");
+
+    if (body.rfind("replay:", 0) == 0) {
+        std::string num = body.substr(7);
+        double dil = 0.0;
+        try {
+            std::size_t used = 0;
+            dil = std::stod(num, &used);
+            if (used != num.size())
+                bad("trailing characters after dilation");
+        } catch (const std::exception &) {
+            bad("unparseable dilation '" + num + "'");
+        }
+        return scheduleReplay(name, dil, display);
+    }
+    if (body.rfind("global:", 0) == 0) {
+        std::string ref = body.substr(7);
+        if (ref.empty())
+            bad("empty global-search reference");
+        return globalSearch(name, ref, display);
+    }
+    if (body.rfind("ctrl:", 0) == 0) {
+        std::string rest = body.substr(5);
+        std::size_t at = rest.find('@');
+        std::string ctrl = rest.substr(0, at == std::string::npos
+                                       ? rest.size() : at);
+        std::string params = at == std::string::npos
+            ? std::string() : rest.substr(at + 1);
+        if (ctrl.empty())
+            bad("empty controller name");
+        return controllerLeg(name, ctrl, params, display);
+    }
+    bad("unknown leg kind (want replay:/global:/ctrl:)");
+    return LegSpec{};    // unreachable; bad() throws
+}
+
+std::string
+legsToSpec(const std::vector<LegSpec> &legs)
+{
+    std::string out;
+    for (const LegSpec &l : legs) {
+        if (!out.empty())
+            out += "|";
+        out += l.toSpec();
+    }
+    return out;
+}
+
+std::vector<LegSpec>
+legsFromSpec(const std::string &spec)
+{
+    std::vector<LegSpec> out;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t bar = spec.find('|', pos);
+        std::string one = spec.substr(pos, bar == std::string::npos
+                                      ? std::string::npos : bar - pos);
+        if (!one.empty())
+            out.push_back(LegSpec::fromSpec(one));
+        if (bar == std::string::npos)
+            break;
+        pos = bar + 1;
+    }
+    return out;
+}
+
 std::vector<LegSpec>
 defaultLegs(const ExperimentConfig &cfg)
 {
@@ -468,33 +595,46 @@ writeHostProfileFromEnv()
     prof.writeProfile(os);
 }
 
-void
-ExperimentConfig::validate() const
+std::vector<std::string>
+ExperimentConfig::validateAll() const
 {
+    std::vector<std::string> errs;
+    auto fail = [&](std::string m) { errs.push_back(std::move(m)); };
+
     if (scale < 1)
-        fatal("ExperimentConfig: scale must be >= 1");
-    auto dilation = [](double d, const char *what) {
+        fail("ExperimentConfig: scale must be >= 1");
+    auto dilation = [&](double d, const std::string &what) {
         if (!std::isfinite(d) || d <= 0.0 || d >= 1.0)
-            fatal(std::string("ExperimentConfig: ") + what +
-                  " must lie in (0, 1) (got " + std::to_string(d) + ")");
+            fail("ExperimentConfig: " + what +
+                 " must lie in (0, 1) (got " + std::to_string(d) + ")");
     };
     dilation(dilationLow, "dilationLow");
     dilation(dilationHigh, "dilationHigh");
     if (dilationLow > dilationHigh)
-        fatal("ExperimentConfig: dilationLow must not exceed "
-              "dilationHigh");
+        fail("ExperimentConfig: dilationLow must not exceed "
+             "dilationHigh");
     if (!std::isfinite(dvfsTimeScale) || dvfsTimeScale <= 0.0)
-        fatal("ExperimentConfig: dvfsTimeScale must be finite and > 0");
+        fail("ExperimentConfig: dvfsTimeScale must be finite and > 0");
     if (legAttempts < 1)
-        fatal("ExperimentConfig: legAttempts must be >= 1");
+        fail("ExperimentConfig: legAttempts must be >= 1");
     if (online.interval == 0)
-        fatal("ExperimentConfig: online.interval must be > 0");
-    if (sampling)
-        sampling->validate();
+        fail("ExperimentConfig: online.interval must be > 0");
+    if (sampling) {
+        try {
+            sampling->validate();
+        } catch (const FatalError &e) {
+            fail(e.what());
+        }
+    }
     // Compile the invariant spec now so a typo aborts with a usage
     // error before any leg runs (parseSpec fatal()s on bad input).
-    if (!telemetry.invariants.empty())
-        obs::InvariantEngine::parseSpec(telemetry.invariants);
+    if (!telemetry.invariants.empty()) {
+        try {
+            obs::InvariantEngine::parseSpec(telemetry.invariants);
+        } catch (const FatalError &e) {
+            fail(e.what());
+        }
+    }
 
     // Leg-set validation (an empty vector means "defaults", resolved
     // by the runner or runMatrix; the defaults pass by construction).
@@ -505,21 +645,20 @@ ExperimentConfig::validate() const
                                      "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
                                      "0123456789_.-") !=
                 std::string::npos) {
-            fatal("ExperimentConfig: invalid leg name '" + l.name +
-                  "' (use [A-Za-z0-9_.-]+)");
+            fail("ExperimentConfig: invalid leg name '" + l.name +
+                 "' (use [A-Za-z0-9_.-]+)");
         }
         if (l.name == "baseline" || l.name == "mcdBaseline")
-            fatal("ExperimentConfig: leg name '" + l.name +
-                  "' is reserved for the fixed reference runs");
+            fail("ExperimentConfig: leg name '" + l.name +
+                 "' is reserved for the fixed reference runs");
         for (std::size_t j = 0; j < i; ++j) {
             if (legs[j].name == l.name)
-                fatal("ExperimentConfig: duplicate leg name '" +
-                      l.name + "'");
+                fail("ExperimentConfig: duplicate leg name '" +
+                     l.name + "'");
         }
         switch (l.kind) {
           case LegSpec::Kind::ScheduleReplay:
-            dilation(l.dilation, ("leg '" + l.name + "' dilation")
-                     .c_str());
+            dilation(l.dilation, "leg '" + l.name + "' dilation");
             break;
           case LegSpec::Kind::GlobalSearch: {
             bool found = false;
@@ -531,9 +670,9 @@ ExperimentConfig::validate() const
                 }
             }
             if (!found) {
-                fatal("ExperimentConfig: leg '" + l.name +
-                      "' references '" + l.reference +
-                      "', which is not a non-search leg in the set");
+                fail("ExperimentConfig: leg '" + l.name +
+                     "' references '" + l.reference +
+                     "', which is not a non-search leg in the set");
             }
             break;
           }
@@ -541,13 +680,33 @@ ExperimentConfig::validate() const
             // Dry-build the controller so an unknown name (the fatal
             // enumerates the registered ones) or a malformed param
             // spec aborts the matrix up front, not mid-run.
-            ControllerContext ctx{DvfsTable{}, seed, online};
-            ControllerRegistry::instance().make(l.controller, ctx,
-                                                l.params);
+            try {
+                ControllerContext ctx{DvfsTable{}, seed, online};
+                ControllerRegistry::instance().make(l.controller, ctx,
+                                                    l.params);
+            } catch (const FatalError &e) {
+                fail(e.what());
+            }
             break;
           }
         }
     }
+    return errs;
+}
+
+void
+ExperimentConfig::validate() const
+{
+    std::vector<std::string> errs = validateAll();
+    if (errs.empty())
+        return;
+    if (errs.size() == 1)
+        fatal(errs.front());
+    std::string msg = "ExperimentConfig: " + std::to_string(errs.size()) +
+        " invalid settings:";
+    for (const std::string &e : errs)
+        msg += "\n  - " + e;
+    fatal(msg);
 }
 
 void

@@ -86,7 +86,32 @@ struct LegSpec
 
     /** Everything result-shaping, folded into the cache key. */
     std::string keyToken() const;
+
+    /**
+     * Canonical textual form, exactly round-tripping through
+     * fromSpec():
+     *
+     *   name[~display]=replay:<dilation>
+     *   name[~display]=global:<reference>
+     *   name[~display]=ctrl:<controller>[@<params>]
+     *
+     * The display part is omitted when it equals the name (the
+     * constructors' default). Doubles are emitted with enough digits
+     * to parse back bit-identically. This is the serialization the
+     * fuzz shrinker's repro files use, so the round-trip is load-
+     * bearing, not cosmetic.
+     */
+    std::string toSpec() const;
+
+    /** Parse one toSpec()-grammar leg (fatal() on malformed input). */
+    static LegSpec fromSpec(const std::string &spec);
 };
+
+/** A whole leg vector as '|'-joined toSpec() entries. */
+std::string legsToSpec(const std::vector<LegSpec> &legs);
+
+/** Parse a '|'-joined leg-vector spec (fatal() on malformed input). */
+std::vector<LegSpec> legsFromSpec(const std::string &spec);
 
 /** Parameters of one experiment matrix. */
 struct ExperimentConfig
@@ -155,8 +180,20 @@ struct ExperimentConfig
      */
     std::shared_ptr<const fault::FaultPlan> faults;
 
-    /** Fail fast on out-of-range parameters (fatal() on violation). */
+    /**
+     * Fail fast on out-of-range parameters: fatal() with one message
+     * listing *every* violation (see validateAll), not just the first.
+     */
     void validate() const;
+
+    /**
+     * All violations validate() would report, one message per defect;
+     * empty means the configuration is valid. Fuzz triage wants the
+     * complete list: a sampled configuration broken along three
+     * dimensions is one scenario to minimize, not three serial
+     * discoveries.
+     */
+    std::vector<std::string> validateAll() const;
 };
 
 /**

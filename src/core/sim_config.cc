@@ -1,13 +1,18 @@
 /**
  * @file
  * SimConfig::validate(): fail fast on inconsistent configurations
- * with actionable fatal() messages instead of mid-run panics.
+ * with actionable fatal() messages instead of mid-run panics. The
+ * checks collect every violation (validateAll) so a multiply broken
+ * configuration — common in fuzzed scenarios — surfaces as one
+ * complete defect list.
  */
 
 #include "sim_config.hh"
 
 #include <cmath>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "analysis/schedule.hh"
 #include "clock/operating_points.hh"
@@ -23,89 +28,125 @@ hz(Hertz f)
     return std::to_string(f / 1e6) + " MHz";
 }
 
+/** Violation collector: append instead of fatal(), report at the end. */
+class Checker
+{
+  public:
+    void
+    fail(std::string msg)
+    {
+        errors.push_back(std::move(msg));
+    }
+
+    /** Append what a throwing sub-validator reported. */
+    void
+    guard(const std::function<void()> &body)
+    {
+        try {
+            body();
+        } catch (const FatalError &e) {
+            errors.push_back(e.what());
+        }
+    }
+
+    std::vector<std::string> take() { return std::move(errors); }
+
+  private:
+    std::vector<std::string> errors;
+};
+
 void
-checkFinitePositive(double v, const char *what)
+checkFinitePositive(Checker &ck, double v, const char *what)
 {
     if (!std::isfinite(v) || v <= 0.0)
-        fatal(std::string("SimConfig: ") + what +
-              " must be finite and > 0 (got " + std::to_string(v) + ")");
+        ck.fail(std::string("SimConfig: ") + what +
+                " must be finite and > 0 (got " + std::to_string(v) +
+                ")");
 }
 
 /** The operating-point invariant every scaling decision relies on. */
 void
-checkTable(const DvfsTable &table)
+checkTable(Checker &ck, const DvfsTable &table)
 {
-    if (table.numPoints() < 2)
-        fatal("SimConfig: operating-point table needs >= 2 points");
+    if (table.numPoints() < 2) {
+        ck.fail("SimConfig: operating-point table needs >= 2 points");
+        return;
+    }
     for (int i = 0; i < table.numPoints(); ++i) {
         const OperatingPoint &p = table.point(i);
         if (!(p.frequency > 0.0) || !(p.voltage > 0.0))
-            fatal("SimConfig: operating point " + std::to_string(i) +
-                  " has non-positive frequency or voltage");
+            ck.fail("SimConfig: operating point " + std::to_string(i) +
+                    " has non-positive frequency or voltage");
         if (i > 0) {
             if (p.frequency <= table.point(i - 1).frequency)
-                fatal("SimConfig: operating-point frequencies must "
-                      "increase strictly with index (point " +
-                      std::to_string(i) + ")");
+                ck.fail("SimConfig: operating-point frequencies must "
+                        "increase strictly with index (point " +
+                        std::to_string(i) + ")");
             if (p.voltage < table.point(i - 1).voltage)
-                fatal("SimConfig: operating-point voltages must be "
-                      "non-decreasing with index (point " +
-                      std::to_string(i) + ")");
+                ck.fail("SimConfig: operating-point voltages must be "
+                        "non-decreasing with index (point " +
+                        std::to_string(i) + ")");
         }
     }
 }
 
 } // namespace
 
-void
-SimConfig::validate() const
+std::vector<std::string>
+SimConfig::validateAll() const
 {
+    Checker ck;
     DvfsTable table;
-    checkTable(table);
+    checkTable(ck, table);
 
     for (int d = 0; d < numDomains; ++d) {
         Hertz f = domainFrequency[d];
-        if (!std::isfinite(f) || f <= 0.0)
-            fatal("SimConfig: domainFrequency[" + std::to_string(d) +
-                  "] must be finite and > 0 (got " +
-                  std::to_string(f) + ")");
+        if (!std::isfinite(f) || f <= 0.0) {
+            ck.fail("SimConfig: domainFrequency[" + std::to_string(d) +
+                    "] must be finite and > 0 (got " +
+                    std::to_string(f) + ")");
+            continue;
+        }
         // With a DVFS engine attached, the initial point must lie on
         // the table's range or the first transition is undefined.
         if (clocking == ClockingStyle::Mcd && dvfs != DvfsKind::None &&
             (f < table.minFrequency() || f > table.maxFrequency())) {
-            fatal("SimConfig: domainFrequency[" + std::to_string(d) +
-                  "] = " + hz(f) + " outside the DVFS table range [" +
-                  hz(table.minFrequency()) + ", " +
-                  hz(table.maxFrequency()) + "]");
+            ck.fail("SimConfig: domainFrequency[" + std::to_string(d) +
+                    "] = " + hz(f) + " outside the DVFS table range [" +
+                    hz(table.minFrequency()) + ", " +
+                    hz(table.maxFrequency()) + "]");
         }
     }
 
     if (!std::isfinite(jitterSigmaPs) || jitterSigmaPs < 0.0)
-        fatal("SimConfig: jitterSigmaPs must be finite and >= 0");
+        ck.fail("SimConfig: jitterSigmaPs must be finite and >= 0");
     if (!std::isfinite(syncFraction) ||
         syncFraction < 0.0 || syncFraction > 1.0) {
-        fatal("SimConfig: syncFraction must lie in [0, 1] (got " +
-              std::to_string(syncFraction) + ")");
+        ck.fail("SimConfig: syncFraction must lie in [0, 1] (got " +
+                std::to_string(syncFraction) + ")");
     }
-    checkFinitePositive(dvfsTimeScale, "dvfsTimeScale");
+    checkFinitePositive(ck, dvfsTimeScale, "dvfsTimeScale");
 
     // Surface invariant-spec grammar errors here, where the caller is
     // still assembling the run, instead of from the Telemetry ctor.
-    if (!telemetry.invariants.empty())
-        obs::InvariantEngine::parseSpec(telemetry.invariants);
+    if (!telemetry.invariants.empty()) {
+        ck.guard([&] {
+            obs::InvariantEngine::parseSpec(telemetry.invariants);
+        });
+    }
 
     if (sampling) {
-        sampling->validate();
+        ck.guard([&] { sampling->validate(); });
         if (collectTrace)
-            fatal("SimConfig: sampling and collectTrace are mutually "
-                  "exclusive (the primitive-event trace needs every "
-                  "instruction simulated in detail)");
+            ck.fail("SimConfig: sampling and collectTrace are mutually "
+                    "exclusive (the primitive-event trace needs every "
+                    "instruction simulated in detail)");
     }
 
     if (controller && schedule)
-        fatal("SimConfig: set either controller or schedule, not both "
-              "(wrap the schedule in a ScheduleController if you need "
-              "to combine policies)");
+        ck.fail("SimConfig: set either controller or schedule, not "
+                "both (wrap the schedule in a ScheduleController if "
+                "you need to combine policies)");
 
     if (schedule) {
         Tick prev = 0;
@@ -113,30 +154,47 @@ SimConfig::validate() const
         for (const ReconfigEntry &e : schedule->all()) {
             std::string at = "schedule entry " + std::to_string(i);
             if (e.when < prev)
-                fatal("SimConfig: " + at + " at t=" + formatTick(e.when) +
-                      " is out of time order (previous entry at t=" +
-                      formatTick(prev) + "); call "
-                      "ReconfigSchedule::finalize() first");
+                ck.fail("SimConfig: " + at + " at t=" +
+                        formatTick(e.when) +
+                        " is out of time order (previous entry at t=" +
+                        formatTick(prev) + "); call "
+                        "ReconfigSchedule::finalize() first");
             prev = e.when;
             int di = static_cast<int>(e.domain);
             if (di < 0 || di >= numDomains)
-                fatal("SimConfig: " + at + " names an invalid domain");
+                ck.fail("SimConfig: " + at + " names an invalid domain");
             if (!std::isfinite(e.frequency) ||
                 e.frequency < table.minFrequency() ||
                 e.frequency > table.maxFrequency()) {
-                fatal("SimConfig: " + at + " requests " +
-                      hz(e.frequency) + " outside the DVFS table "
-                      "range [" + hz(table.minFrequency()) + ", " +
-                      hz(table.maxFrequency()) + "]");
+                ck.fail("SimConfig: " + at + " requests " +
+                        hz(e.frequency) + " outside the DVFS table "
+                        "range [" + hz(table.minFrequency()) + ", " +
+                        hz(table.maxFrequency()) + "]");
             }
             ++i;
         }
         if (!schedule->empty() && dvfs == DvfsKind::None &&
             clocking == ClockingStyle::Mcd) {
-            fatal("SimConfig: a reconfiguration schedule needs a DVFS "
-                  "model (set SimConfig::dvfs)");
+            ck.fail("SimConfig: a reconfiguration schedule needs a "
+                    "DVFS model (set SimConfig::dvfs)");
         }
     }
+    return ck.take();
+}
+
+void
+SimConfig::validate() const
+{
+    std::vector<std::string> errs = validateAll();
+    if (errs.empty())
+        return;
+    if (errs.size() == 1)
+        fatal(errs.front());
+    std::string msg = "SimConfig: " + std::to_string(errs.size()) +
+        " invalid settings:";
+    for (const std::string &e : errs)
+        msg += "\n  - " + e;
+    fatal(msg);
 }
 
 } // namespace mcd

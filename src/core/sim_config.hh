@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "clock/dvfs.hh"
 #include "common/types.hh"
@@ -121,9 +122,19 @@ struct SimConfig
      * actionable message instead of a mid-run panic. Checks the
      * operating-point table's monotonicity, frequency/parameter
      * ranges, schedule sanity, and control-plane exclusivity. Called
-     * by McdProcessor before every run.
+     * by McdProcessor before every run. Reports *every* violation in
+     * one message (see validateAll), not just the first.
      */
     void validate() const;
+
+    /**
+     * All violations validate() would report, one message per defect;
+     * empty means the configuration is valid. Collecting the full
+     * list (instead of failing on the first) is what fuzz triage
+     * needs: a sampled configuration with three broken dimensions is
+     * one scenario, not three serial discoveries.
+     */
+    std::vector<std::string> validateAll() const;
 };
 
 /**

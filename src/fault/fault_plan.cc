@@ -115,6 +115,44 @@ FaultPlan::parse(const std::string &spec)
     return plan;
 }
 
+std::string
+FaultPlan::toSpec() const
+{
+    std::string out;
+    auto append = [&](const std::string &item) {
+        if (!out.empty())
+            out += ";";
+        out += item;
+    };
+    for (const FaultSpec &fs : armed) {
+        switch (fs.kind) {
+          case FaultKind::Throw:
+            append("leg:" + fs.site + "=throw");
+            break;
+          case FaultKind::Flaky:
+            append("leg:" + fs.site + "=flaky" +
+                   (fs.count == 1 ? std::string()
+                                  : ":" + std::to_string(fs.count)));
+            break;
+          case FaultKind::Stall:
+            append("leg:" + fs.site + "=stall");
+            break;
+          case FaultKind::VfMisorder:
+            append("leg:" + fs.site + "=vfmisorder");
+            break;
+          case FaultKind::TruncateCache:
+            append("cache:" + fs.site + "=truncate");
+            break;
+          case FaultKind::CorruptCache:
+            append("cache:" + fs.site + "=corrupt");
+            break;
+        }
+    }
+    if (rngSeed != 1)
+        append("seed=" + std::to_string(rngSeed));
+    return out;
+}
+
 std::shared_ptr<const FaultPlan>
 FaultPlan::fromEnv(const char *var)
 {

@@ -103,6 +103,15 @@ class FaultPlan
     bool empty() const { return armed.empty(); }
     const std::vector<FaultSpec> &specs() const { return armed; }
 
+    /**
+     * Canonical spec string, exactly round-tripping through parse():
+     * armed sites in plan order, then seed=N when it differs from the
+     * default. Flaky emits its :k count only when not 1 (parse()'s
+     * default). The fuzz shrinker serializes minimized plans with
+     * this, so the round-trip is a hard contract, not best-effort.
+     */
+    std::string toSpec() const;
+
     /** Reserved for future stochastic plans (determinism contract). */
     std::uint64_t seed() const { return rngSeed; }
 

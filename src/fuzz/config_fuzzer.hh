@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Valid-by-construction scenario sampling for the soak driver.
+ *
+ * The fuzzer samples every interesting experiment dimension — DVFS
+ * model, transition time scale, dilation targets, leg set (replay /
+ * global-search / controller-registry legs), sampled vs full-detail
+ * simulation, and a declared fault plan — from independent named
+ * streams of one root seed (common/random.hh), so tuple(i) is a pure
+ * function of (rootSeed, i): the same tuple index always denotes the
+ * same scenario, which is what makes the soak journal resumable and
+ * every finding replayable from its index alone.
+ *
+ * "Valid by construction" is enforced, not assumed: every sampled
+ * scenario is pushed through ExperimentConfig::validateAll(), and a
+ * non-empty defect list is a panic (a fuzzer bug, not a finding).
+ */
+
+#ifndef MCD_FUZZ_CONFIG_FUZZER_HH
+#define MCD_FUZZ_CONFIG_FUZZER_HH
+
+#include <cstdint>
+
+#include "fuzz/scenario.hh"
+
+namespace mcd {
+namespace fuzz {
+
+class ConfigFuzzer
+{
+  public:
+    explicit ConfigFuzzer(std::uint64_t root_seed)
+        : root(root_seed)
+    {}
+
+    /**
+     * The scenario of tuple @p index: deterministic, validated.
+     * Alternating tuples use alternating DVFS models, so any budget
+     * >= 2 covers both.
+     */
+    Scenario tuple(std::uint64_t index) const;
+
+  private:
+    std::uint64_t root;
+};
+
+} // namespace fuzz
+} // namespace mcd
+
+#endif // MCD_FUZZ_CONFIG_FUZZER_HH

@@ -1,0 +1,219 @@
+#include "scenario.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace mcd {
+namespace fuzz {
+
+namespace {
+
+/** Replace every "@" in a fault spec with the benchmark name. */
+std::string
+expandAt(const std::string &spec, const std::string &bench)
+{
+    std::string out;
+    for (char c : spec) {
+        if (c == '@')
+            out += bench;
+        else
+            out += c;
+    }
+    return out;
+}
+
+double
+parseDouble(const std::string &key, const std::string &v)
+{
+    try {
+        std::size_t used = 0;
+        double d = std::stod(v, &used);
+        if (used != v.size())
+            throw std::invalid_argument(v);
+        return d;
+    } catch (const std::exception &) {
+        fatal("Scenario config: bad value '" + v + "' for " + key);
+    }
+}
+
+std::uint64_t
+parseU64(const std::string &key, const std::string &v)
+{
+    char *end = nullptr;
+    std::uint64_t n = std::strtoull(v.c_str(), &end, 10);
+    if (!end || *end || v.empty())
+        fatal("Scenario config: bad value '" + v + "' for " + key);
+    return n;
+}
+
+} // namespace
+
+std::string
+Scenario::expandedFaults() const
+{
+    std::string joined = faultSpec;
+    if (!plantedSpec.empty()) {
+        if (!joined.empty())
+            joined += ";";
+        joined += plantedSpec;
+    }
+    return expandAt(joined, benchName());
+}
+
+ExperimentConfig
+Scenario::toConfig() const
+{
+    internWorkload(workload);
+
+    ExperimentConfig cfg;
+    cfg.scale = 1;
+    cfg.cacheDir.clear();               // soak runs are never cached
+    cfg.telemetry.invariants = "default";
+
+    std::string item;
+    std::istringstream ss(configSpec);
+    while (std::getline(ss, item, ';')) {
+        if (item.empty())
+            continue;
+        std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            fatal("Scenario config: item '" + item + "' missing '='");
+        std::string key = item.substr(0, eq);
+        std::string val = item.substr(eq + 1);
+        if (key == "model") {
+            auto kind = dvfsKindFromName(val);
+            if (!kind)
+                fatal("Scenario config: unknown DVFS model '" + val +
+                      "' (choices: " + dvfsKindNames() + ")");
+            cfg.model = *kind;
+        } else if (key == "timescale") {
+            cfg.dvfsTimeScale = parseDouble(key, val);
+        } else if (key == "dillo") {
+            cfg.dilationLow = parseDouble(key, val);
+        } else if (key == "dilhi") {
+            cfg.dilationHigh = parseDouble(key, val);
+        } else if (key == "seed") {
+            cfg.seed = parseU64(key, val);
+        } else if (key == "attempts") {
+            cfg.legAttempts = static_cast<int>(parseU64(key, val));
+        } else if (key == "wdedges") {
+            cfg.watchdogNoProgressEdges = parseU64(key, val);
+        } else if (key == "wdticks") {
+            cfg.watchdogMaxTicks = parseU64(key, val);
+        } else if (key == "sampling") {
+            cfg.sampling = SamplingParams::fromSpec(val);
+        } else {
+            fatal("Scenario config: unknown key '" + key + "'");
+        }
+    }
+
+    cfg.legs = legsFromSpec(legsSpec);
+
+    std::string faults = expandedFaults();
+    if (!faults.empty())
+        cfg.faults = std::make_shared<const fault::FaultPlan>(
+            fault::FaultPlan::parse(faults));
+    return cfg;
+}
+
+const char *const reproVersion = "mcd-repro-v1";
+
+void
+writeRepro(std::ostream &os, const Scenario &s,
+           const std::string &signature)
+{
+    // Flat JSON with string/number values only. The spec grammars
+    // exclude '"' and '\', so values never need escaping — which is
+    // what lets readRepro() stay a two-screen scanner instead of a
+    // JSON library dependency.
+    os << "{\n"
+       << "  \"version\": \"" << reproVersion << "\",\n"
+       << "  \"signature\": \"" << signature << "\",\n"
+       << "  \"workload\": \"" << s.workload.spec() << "\",\n"
+       << "  \"config\": \"" << s.configSpec << "\",\n"
+       << "  \"legs\": \"" << s.legsSpec << "\",\n"
+       << "  \"faults\": \"" << s.faultSpec << "\",\n"
+       << "  \"planted\": \"" << s.plantedSpec << "\",\n"
+       << "  \"jobs\": " << s.jobs << "\n"
+       << "}\n";
+}
+
+namespace {
+
+/** The value of "key" in flat-JSON @p text, or nullopt. */
+std::optional<std::string>
+jsonField(const std::string &text, const std::string &key)
+{
+    std::string needle = "\"" + key + "\"";
+    std::size_t at = text.find(needle);
+    if (at == std::string::npos)
+        return std::nullopt;
+    std::size_t colon = text.find(':', at + needle.size());
+    if (colon == std::string::npos)
+        return std::nullopt;
+    std::size_t pos = colon + 1;
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t'))
+        ++pos;
+    if (pos >= text.size())
+        return std::nullopt;
+    if (text[pos] == '"') {
+        std::size_t close = text.find('"', pos + 1);
+        if (close == std::string::npos)
+            return std::nullopt;
+        return text.substr(pos + 1, close - pos - 1);
+    }
+    std::size_t end = pos;
+    while (end < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[end])) ||
+            text[end] == '-'))
+        ++end;
+    if (end == pos)
+        return std::nullopt;
+    return text.substr(pos, end - pos);
+}
+
+} // namespace
+
+std::optional<Repro>
+readRepro(std::istream &is)
+{
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    std::string text = buf.str();
+
+    auto version = jsonField(text, "version");
+    if (!version || *version != reproVersion)
+        return std::nullopt;
+    auto signature = jsonField(text, "signature");
+    auto workload = jsonField(text, "workload");
+    auto config = jsonField(text, "config");
+    auto legs = jsonField(text, "legs");
+    auto faults = jsonField(text, "faults");
+    auto planted = jsonField(text, "planted");
+    auto jobs = jsonField(text, "jobs");
+    if (!signature || !workload || !config || !legs || !faults ||
+        !planted || !jobs)
+        return std::nullopt;
+
+    Repro r;
+    r.signature = *signature;
+    r.scenario.workload = GenParams::fromSpec(*workload);
+    r.scenario.configSpec = *config;
+    r.scenario.legsSpec = *legs;
+    r.scenario.faultSpec = *faults;
+    r.scenario.plantedSpec = *planted;
+    r.scenario.jobs = static_cast<int>(
+        std::strtol(jobs->c_str(), nullptr, 10));
+    if (r.scenario.jobs < 1)
+        r.scenario.jobs = 1;
+    return r;
+}
+
+} // namespace fuzz
+} // namespace mcd

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Delta-debugging minimizer for failing scenarios.
+ *
+ * Greedy ddmin-flavored reduction: repeatedly try structurally
+ * smaller variants of a failing scenario — drop legs, drop fault
+ * entries, drop program phases, halve numeric dimensions (iterations,
+ * chain depth, footprint), strip sampling — keeping a variant only
+ * when its re-run reproduces the *same failure signature* (not merely
+ * any failure: a shrink that trades one bug for another is a
+ * regression in repro quality). Passes repeat to a fixpoint or until
+ * the oracle-run budget is exhausted; every accepted variant is
+ * strictly smaller, so termination is structural, not probabilistic.
+ *
+ * Signatures are benchmark-name independent (soak.hh), which is what
+ * lets the shrinker mutate GenParams at all: the workload's hashed
+ * name changes with every program mutation.
+ */
+
+#ifndef MCD_FUZZ_SHRINK_HH
+#define MCD_FUZZ_SHRINK_HH
+
+#include <functional>
+
+#include "fuzz/soak.hh"
+
+namespace mcd {
+namespace fuzz {
+
+/** Re-runs a candidate scenario (tests stub this with a predicate). */
+using ShrinkOracle = std::function<Outcome(const Scenario &)>;
+
+struct ShrinkResult
+{
+    Scenario minimized;     //!< smallest signature-preserving variant
+    Outcome outcome;        //!< its (matching) outcome
+    int runs = 0;           //!< oracle invocations spent
+    int reductions = 0;     //!< accepted shrink steps
+};
+
+/**
+ * Minimize @p failing, whose outcome is @p baseline, within
+ * @p maxRuns oracle invocations. @p oracle defaults to runScenario().
+ * The result is always a valid scenario with the same signature —
+ * when nothing shrinks, it is @p failing itself.
+ */
+ShrinkResult shrinkScenario(const Scenario &failing,
+                            const Outcome &baseline, int maxRuns,
+                            ShrinkOracle oracle = {});
+
+} // namespace fuzz
+} // namespace mcd
+
+#endif // MCD_FUZZ_SHRINK_HH

@@ -1,9 +1,45 @@
 #include "workloads.hh"
 
+#include <map>
+#include <mutex>
+#include <utility>
+
 #include "common/log.hh"
 
 namespace mcd {
 namespace workloads {
+
+namespace {
+
+/** Registered generator prefixes (process-global, mutex-protected:
+ *  legs build programs concurrently under the thread pool). */
+std::mutex &
+generatorMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::map<std::string, GeneratorFn> &
+generators()
+{
+    static std::map<std::string, GeneratorFn> table;
+    return table;
+}
+
+/** The generator owning @p name, or an unset function. */
+GeneratorFn
+findGenerator(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(generatorMutex());
+    for (const auto &[prefix, fn] : generators()) {
+        if (name.rfind(prefix, 0) == 0)
+            return fn;
+    }
+    return {};
+}
+
+} // namespace
 
 const std::vector<WorkloadInfo> &
 all()
@@ -42,11 +78,36 @@ get(const std::string &name)
     fatal("unknown workload: " + name);
 }
 
+void
+registerGenerator(const std::string &prefix, GeneratorFn fn)
+{
+    if (prefix.empty())
+        fatal("registerGenerator: empty prefix");
+    if (!fn)
+        fatal("registerGenerator: null builder for prefix '" +
+              prefix + "'");
+    for (const WorkloadInfo &w : all()) {
+        if (std::string(w.name).rfind(prefix, 0) == 0)
+            fatal("registerGenerator: prefix '" + prefix +
+                  "' collides with fixed benchmark '" + w.name + "'");
+    }
+    std::lock_guard<std::mutex> lock(generatorMutex());
+    generators()[prefix] = std::move(fn);
+}
+
+bool
+isGenerated(const std::string &name)
+{
+    return static_cast<bool>(findGenerator(name));
+}
+
 Program
 build(const std::string &name, int scale)
 {
     if (scale < 1)
         fatal("workload scale must be >= 1");
+    if (GeneratorFn fn = findGenerator(name))
+        return fn(name, scale);
     return get(name).build(scale);
 }
 

@@ -18,6 +18,7 @@
 #ifndef MCD_WORKLOADS_WORKLOADS_HH
 #define MCD_WORKLOADS_WORKLOADS_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,23 @@ const WorkloadInfo &get(const std::string &name);
 
 /** Build a benchmark program. */
 Program build(const std::string &name, int scale = 1);
+
+/**
+ * Hook for synthesized workload families (the fuzz generator): any
+ * name starting with @p prefix is routed to @p fn instead of the
+ * fixed Table 2 suite, so generated programs flow through the leg /
+ * telemetry / fault machinery under their own names with zero changes
+ * to the experiment engine. Registration is process-global and
+ * thread-safe; re-registering a prefix replaces its builder. The
+ * prefix must be non-empty and must not name-collide with a fixed
+ * benchmark (fatal() otherwise).
+ */
+using GeneratorFn = std::function<Program(const std::string &name,
+                                          int scale)>;
+void registerGenerator(const std::string &prefix, GeneratorFn fn);
+
+/** True when @p name routes to a registered generator prefix. */
+bool isGenerated(const std::string &name);
 
 /** @name Individual kernel builders
  *  @{

@@ -118,6 +118,62 @@ TEST(Rng, NormalClampedRespectsBounds)
     }
 }
 
+TEST(RngStreams, SplitmixIsDeterministicAndAdvancesState)
+{
+    std::uint64_t s1 = 42, s2 = 42;
+    std::uint64_t a = splitmix64(s1);
+    std::uint64_t b = splitmix64(s2);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(s1, 42u);         // state advanced
+    EXPECT_NE(splitmix64(s1), a);
+}
+
+TEST(RngStreams, NamedStreamsAreIndependent)
+{
+    // Different stream names from one root must decorrelate; the
+    // same (root, name) pair must be stable across calls.
+    std::uint64_t root = 7;
+    EXPECT_EQ(streamSeed(root, "fuzz.data"),
+              streamSeed(root, "fuzz.data"));
+    EXPECT_NE(streamSeed(root, "fuzz.data"),
+              streamSeed(root, "fuzz.checksum"));
+    EXPECT_NE(streamSeed(root, "fuzz.data"),
+              streamSeed(root + 1, "fuzz.data"));
+
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t r = 0; r < 100; ++r)
+        for (const char *name : {"a", "b", "c"})
+            seeds.insert(streamSeed(r, name));
+    EXPECT_EQ(seeds.size(), 300u);
+}
+
+TEST(RngStreams, IndexedStreamsDecorrelate)
+{
+    std::uint64_t root = 11;
+    EXPECT_EQ(streamSeedAt(root, "fuzz.workload", 3),
+              streamSeedAt(root, "fuzz.workload", 3));
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        seeds.insert(streamSeedAt(root, "fuzz.workload", i));
+    EXPECT_EQ(seeds.size(), 1000u);
+
+    // Adjacent indices must not produce correlated draws downstream.
+    Rng a(streamSeedAt(root, "s", 0));
+    Rng b(streamSeedAt(root, "s", 1));
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(RngStreams, StreamRngMatchesManualSeeding)
+{
+    Rng a = streamRng(5, "telemetry.jitter");
+    Rng b(streamSeed(5, "telemetry.jitter"));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
 TEST(RunningStat, Basics)
 {
     RunningStat s;

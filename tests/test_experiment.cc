@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/log.hh"
 #include "core/experiment.hh"
 
 namespace mcd {
@@ -215,6 +216,72 @@ TEST(Experiment, CacheKeyDistinguishesConfigs)
     // run has PLL re-lock stalls, so the dynamic results differ.
     EXPECT_NE(xs.leg("dyn5").execTime, tm.leg("dyn5").execTime);
     std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------- leg spec grammar
+
+void
+expectLegEqual(const LegSpec &a, const LegSpec &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.display, b.display);
+    EXPECT_EQ(a.kind, b.kind);
+    // Bit-identical, not approximately equal: the repro files the
+    // fuzz shrinker writes depend on exact double round-trips.
+    EXPECT_EQ(a.dilation, b.dilation);
+    EXPECT_EQ(a.reference, b.reference);
+    EXPECT_EQ(a.controller, b.controller);
+    EXPECT_EQ(a.params, b.params);
+}
+
+TEST(LegSpecGrammar, ToSpecRoundTripsAllThreeKinds)
+{
+    std::vector<LegSpec> legs = {
+        LegSpec::scheduleReplay("dyn5", 0.05),
+        LegSpec::scheduleReplay("dyn1", 0.017, "dynamic-1%"),
+        LegSpec::globalSearch("global", "dyn5"),
+        LegSpec::controllerLeg("online", "online-queue"),
+        LegSpec::controllerLeg("pid", "pid", "kp=0.4,ki=0.05"),
+    };
+    for (const LegSpec &l : legs) {
+        LegSpec back = LegSpec::fromSpec(l.toSpec());
+        expectLegEqual(back, l);
+        EXPECT_EQ(back.toSpec(), l.toSpec());
+    }
+    // Vector form: '|'-joined, order-preserving.
+    std::vector<LegSpec> parsed = legsFromSpec(legsToSpec(legs));
+    ASSERT_EQ(parsed.size(), legs.size());
+    for (std::size_t i = 0; i < legs.size(); ++i)
+        expectLegEqual(parsed[i], legs[i]);
+}
+
+TEST(LegSpecGrammar, ToSpecRoundTripsRandomizedDilations)
+{
+    // Dilations land on awkward doubles (thirds, tiny magnitudes);
+    // the emitter must pick enough digits to reparse bit-identically.
+    std::uint64_t state = 12345;
+    for (int trial = 0; trial < 300; ++trial) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        double frac = static_cast<double>(state >> 11) /
+            static_cast<double>(1ULL << 53);
+        double dilation = frac / 3.0 + 1e-9;
+        LegSpec l = LegSpec::scheduleReplay(
+            "leg" + std::to_string(trial % 7), dilation);
+        LegSpec back = LegSpec::fromSpec(l.toSpec());
+        ASSERT_EQ(back.dilation, dilation) << l.toSpec();
+        ASSERT_EQ(back.toSpec(), l.toSpec());
+    }
+}
+
+TEST(LegSpecGrammar, MalformedSpecsAreFatal)
+{
+    EXPECT_THROW(LegSpec::fromSpec(""), FatalError);
+    EXPECT_THROW(LegSpec::fromSpec("dyn5"), FatalError);
+    EXPECT_THROW(LegSpec::fromSpec("dyn5=bogus:1"), FatalError);
+    EXPECT_THROW(LegSpec::fromSpec("dyn5=replay:notanumber"),
+                 FatalError);
+    EXPECT_THROW(LegSpec::fromSpec("=replay:0.05"), FatalError);
+    EXPECT_THROW(legsFromSpec("dyn5=replay:0.05|junk"), FatalError);
 }
 
 } // namespace

@@ -18,6 +18,7 @@
 
 #include "analysis/schedule.hh"
 #include "common/log.hh"
+#include "common/random.hh"
 #include "control/controller.hh"
 #include "core/experiment.hh"
 #include "fault/fault_plan.hh"
@@ -160,6 +161,74 @@ TEST(FaultPlan, DamageFile)
     EXPECT_FALSE(fault::damageFile(p.string(), FaultKind::CorruptCache));
 }
 
+// ---------------------------------------------------- spec emission
+
+TEST(FaultPlan, ToSpecRoundTripsHandWrittenPlans)
+{
+    for (const char *spec : {
+             "leg:adpcm/dyn1=throw",
+             "leg:a/b=flaky:3;cache:mst=truncate",
+             "leg:a/b=stall;leg:a/c=vfmisorder;seed=9",
+             "cache:art=corrupt",
+         }) {
+        FaultPlan plan = FaultPlan::parse(spec);
+        EXPECT_EQ(plan.toSpec(), spec);
+    }
+    // Canonicalization: empty items vanish, flaky:1 drops its count,
+    // the default seed is omitted.
+    EXPECT_EQ(FaultPlan::parse(";leg:a/b=flaky:1;;seed=1;").toSpec(),
+              "leg:a/b=flaky");
+}
+
+/** Random valid plan built directly from the spec grammar. */
+std::string
+randomFaultSpec(Rng &rng)
+{
+    static const char *const legActions[] = {
+        "throw", "flaky", "flaky:2", "flaky:5", "stall", "vfmisorder",
+    };
+    static const char *const cacheActions[] = {"truncate", "corrupt"};
+    std::string spec;
+    int items = 1 + rng.uniformInt(4);
+    for (int i = 0; i < items; ++i) {
+        if (!spec.empty())
+            spec += ";";
+        // Distinct sites per item keep the plan order-preserving.
+        std::string tag = std::to_string(i);
+        if (rng.uniform() < 0.7)
+            spec += "leg:b" + tag + "/l" + tag + "=" +
+                legActions[rng.uniformInt(6)];
+        else
+            spec += "cache:b" + tag + "=" +
+                cacheActions[rng.uniformInt(2)];
+    }
+    if (rng.uniform() < 0.4)
+        spec += ";seed=" + std::to_string(2 + rng.uniformInt(1000));
+    return spec;
+}
+
+TEST(FaultPlan, ToSpecRoundTripsRandomizedPlans)
+{
+    Rng rng(2024);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::string spec = randomFaultSpec(rng);
+        FaultPlan plan = FaultPlan::parse(spec);
+        std::string emitted = plan.toSpec();
+        // The emitted spec parses back to a structurally identical
+        // plan, and re-emitting it is a fixed point (canonical form).
+        FaultPlan reparsed = FaultPlan::parse(emitted);
+        EXPECT_EQ(reparsed.toSpec(), emitted) << spec;
+        ASSERT_EQ(reparsed.specs().size(), plan.specs().size()) << spec;
+        EXPECT_EQ(reparsed.seed(), plan.seed()) << spec;
+        for (std::size_t i = 0; i < plan.specs().size(); ++i) {
+            EXPECT_EQ(reparsed.specs()[i].site, plan.specs()[i].site);
+            EXPECT_EQ(reparsed.specs()[i].kind, plan.specs()[i].kind);
+            EXPECT_EQ(reparsed.specs()[i].count,
+                      plan.specs()[i].count);
+        }
+    }
+}
+
 // ------------------------------------------------------ config checks
 
 TEST(ExperimentConfigValidate, RejectsOutOfRangeParameters)
@@ -247,6 +316,66 @@ TEST(SimConfigValidate, RejectsInconsistentConfigurations)
     sc.dvfs = DvfsKind::XScale;
     sc.schedule = &tooFast;
     EXPECT_THROW(sc.validate(), FatalError);
+}
+
+TEST(SimConfigValidate, CollectsEveryViolationInOneReport)
+{
+    // A multiply broken configuration — the shape fuzzed scenarios
+    // produce — must surface the complete defect list, not just the
+    // first hit.
+    SimConfig sc;
+    sc.domainFrequency[0] = 0.0;        // violation 1
+    sc.syncFraction = 1.5;              // violation 2
+    sc.jitterSigmaPs = -1.0;            // violation 3
+    sc.dvfsTimeScale = 0.0;             // violation 4
+
+    std::vector<std::string> errs = sc.validateAll();
+    ASSERT_EQ(errs.size(), 4u);
+
+    // And validate() folds the whole list into one fatal message.
+    try {
+        sc.validate();
+        FAIL() << "validate() must throw";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("4 invalid settings"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("domainFrequency[0]"), std::string::npos);
+        EXPECT_NE(msg.find("syncFraction"), std::string::npos);
+        EXPECT_NE(msg.find("jitterSigmaPs"), std::string::npos);
+        EXPECT_NE(msg.find("dvfsTimeScale"), std::string::npos);
+    }
+
+    // A single violation keeps the original one-line message shape.
+    SimConfig one;
+    one.syncFraction = -0.5;
+    EXPECT_EQ(one.validateAll().size(), 1u);
+    try {
+        one.validate();
+        FAIL() << "validate() must throw";
+    } catch (const FatalError &e) {
+        EXPECT_EQ(std::string(e.what()).find("invalid settings"),
+                  std::string::npos);
+    }
+}
+
+TEST(ExperimentConfigValidate, CollectsEveryViolationInOneReport)
+{
+    ExperimentConfig ec;
+    ec.scale = 0;                       // violation 1
+    ec.legAttempts = 0;                 // violation 2
+    ec.dilationLow = -0.1;              // violation 3
+
+    std::vector<std::string> errs = ec.validateAll();
+    ASSERT_GE(errs.size(), 3u);
+    try {
+        ec.validate();
+        FAIL() << "validate() must throw";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("invalid settings"), std::string::npos);
+        EXPECT_NE(msg.find("scale"), std::string::npos);
+    }
 }
 
 // ------------------------------------------------------- exit codes
