@@ -1,8 +1,10 @@
 /**
  * @file
  * Shared plumbing for the figure/table bench binaries: experiment
- * configuration from the environment, and the per-benchmark matrix
- * loop with on-disk caching so fig5/6/7 share one set of runs.
+ * configuration from the resolved RunSpec (defaults < config file <
+ * env vars < CLI flags; see docs/config-reference.md), and the
+ * per-benchmark matrix loop with on-disk caching so fig5/6/7 share
+ * one set of runs.
  */
 
 #ifndef MCD_BENCH_BENCH_UTIL_HH
@@ -11,12 +13,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/log.hh"
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
+#include "config/registry.hh"
+#include "config/runspec.hh"
 #include "core/experiment.hh"
 #include "obs/host_prof.hh"
 #include "workloads/workloads.hh"
@@ -25,37 +30,36 @@ namespace mcd {
 namespace benchutil {
 
 /**
- * Experiment configuration honoring MCD_SCALE / MCD_CACHE_DIR /
- * MCD_SEED, plus the robustness knobs: MCD_WATCHDOG_EDGES /
- * MCD_WATCHDOG_TICKS (no-progress and simulated-time watchdog
- * budgets, 0 = off / unlimited) and MCD_LEG_ATTEMPTS (bounded retry
- * for transient faults).
+ * Configuration errors (bad option values, malformed fault plans,
+ * unknown benchmark names) exit with the usage code 2, distinct from
+ * the partial/total run-failure codes finish() returns.
+ */
+template <typename Fn>
+inline auto
+orUsageError(Fn &&fn) -> decltype(fn())
+{
+    try {
+        return fn();
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        std::exit(2);
+    }
+}
+
+/**
+ * Experiment configuration from the resolved RunSpec: scale, seed,
+ * cacheDir (defaulting to .mcd-bench-cache when the option is left
+ * unset; an explicitly empty MCD_CACHE_DIR still disables caching),
+ * the robustness knobs (watchdogEdges / watchdogTicks, legAttempts),
+ * sampling, and the DVFS model override.
  */
 inline ExperimentConfig
 configFromEnv(DvfsKind model = DvfsKind::XScale)
 {
-    ExperimentConfig ec;
-    ec.model = model;
-    if (const char *s = std::getenv("MCD_SCALE"))
-        ec.scale = std::max(1, std::atoi(s));
-    if (const char *d = std::getenv("MCD_CACHE_DIR"))
-        ec.cacheDir = d;
-    else
-        ec.cacheDir = ".mcd-bench-cache";
-    if (const char *seed = std::getenv("MCD_SEED"))
-        ec.seed = std::strtoull(seed, nullptr, 10);
-    if (const char *e = std::getenv("MCD_WATCHDOG_EDGES"))
-        ec.watchdogNoProgressEdges = std::strtoull(e, nullptr, 10);
-    if (const char *t = std::getenv("MCD_WATCHDOG_TICKS"))
-        ec.watchdogMaxTicks = std::strtoull(t, nullptr, 10);
-    if (const char *a = std::getenv("MCD_LEG_ATTEMPTS"))
-        ec.legAttempts = std::max(1, std::atoi(a));
-    // MCD_SAMPLING=detailed=N,ff=N,warmup=N[,tol=F] turns on sampled
-    // simulation (runMatrix would apply this too via effectiveConfig;
-    // parsing here keeps the knob visible in the returned config).
-    if (const char *smp = std::getenv("MCD_SAMPLING"); smp && *smp)
-        ec.sampling = SamplingParams::fromSpec(smp);
-    return ec;
+    return orUsageError([&] {
+        return experimentConfigFromSpec(config::RunSpec::resolve(),
+                                        model, ".mcd-bench-cache");
+    });
 }
 
 #ifdef BENCHMARK_BENCHMARK_H_
@@ -76,72 +80,36 @@ kernelBenchDefaults(benchmark::internal::Benchmark *b)
 #endif
 
 /**
- * Benchmark list for a matrix run: all 16 workloads, or the
- * comma-separated subset named by MCD_BENCHMARKS (unknown names are
- * rejected so a typo cannot silently shrink a figure). The CI smoke
- * job uses this to run a single benchmark with telemetry enabled.
+ * Benchmark list for a matrix run: all 16 workloads, or the subset
+ * named by the benchmarks option (unknown names are rejected so a
+ * typo cannot silently shrink a figure). The CI smoke job uses this
+ * to run a single benchmark with telemetry enabled.
  */
 inline std::vector<std::string>
 benchmarkNamesFromEnv()
 {
-    std::vector<std::string> names;
-    const char *filter = std::getenv("MCD_BENCHMARKS");
-    if (!filter || !*filter) {
-        for (const WorkloadInfo &w : workloads::all())
-            names.emplace_back(w.name);
-        return names;
-    }
-    std::string item;
-    for (const char *p = filter;; ++p) {
-        if (*p && *p != ',') {
-            item += *p;
-            continue;
-        }
-        if (!item.empty()) {
-            bool known = false;
-            for (const WorkloadInfo &w : workloads::all())
-                known = known || item == w.name;
-            if (!known) {
-                std::fprintf(stderr,
-                             "MCD_BENCHMARKS: unknown benchmark '%s'\n",
-                             item.c_str());
-                std::exit(2);
-            }
-            names.push_back(item);
-            item.clear();
-        }
-        if (!*p)
-            break;
-    }
-    if (names.empty()) {
-        std::fprintf(stderr, "MCD_BENCHMARKS: empty benchmark list\n");
-        std::exit(2);
-    }
-    return names;
+    return orUsageError([] {
+        return benchmarkNamesFromSpec(config::RunSpec::resolve());
+    });
 }
 
 /**
  * Run the full five-configuration matrix for all 16 benchmarks (or
- * the MCD_BENCHMARKS subset), fanned across MCD_JOBS worker threads
- * (default: hardware concurrency; 1 = serial). Output order and
- * results are identical for every job count.
+ * the benchmarks-option subset), fanned across the jobs-option worker
+ * threads (default: hardware concurrency; 1 = serial). Output order
+ * and results are identical for every job count.
  */
 inline std::vector<BenchmarkResults>
 runMatrix(const ExperimentConfig &ec)
 {
-    std::vector<std::string> names = benchmarkNamesFromEnv();
-    int jobs = static_cast<int>(ThreadPool::jobsFromEnv());
-    std::fprintf(stderr, "  matrix: %zu benchmarks, %d jobs\n",
-                 names.size(), jobs);
-    try {
+    return orUsageError([&] {
+        std::vector<std::string> names =
+            benchmarkNamesFromSpec(config::RunSpec::resolve());
+        int jobs = config::RunSpec::resolve().jobs();
+        std::fprintf(stderr, "  matrix: %zu benchmarks, %d jobs\n",
+                     names.size(), jobs);
         return mcd::runMatrix(ec, names, jobs, /*progress=*/true);
-    } catch (const FatalError &e) {
-        // Configuration errors (bad env knobs, malformed fault plan).
-        // Exit code 2 = usage error, distinct from the partial/total
-        // run-failure codes finish() returns.
-        std::fprintf(stderr, "fatal: %s\n", e.what());
-        std::exit(2);
-    }
+    });
 }
 
 /**
@@ -184,40 +152,74 @@ finish(const std::vector<BenchmarkResults> &rows)
 }
 
 /**
- * Handle the shared figure-binary command line: `--tournament` runs
- * the registered-controller tournament instead of the paper's default
- * matrix (same as MCD_TOURNAMENT=1; the flag just exports the
- * variable so the env-driven plumbing stays the single source of
- * truth). `--invariants <spec>` enables the telemetry invariant
- * engine (same as MCD_INVARIANTS=<spec>; "default" selects the
- * built-in rule set). Unknown flags are rejected with a usage
- * message.
+ * Handle the shared figure-binary command line, driven entirely by
+ * the option registry: every registered option is reachable as
+ * `--<flag> <value>` or `--<flag>=<value>` (booleans may omit the
+ * value: `--tournament` alone means true), becoming the
+ * highest-precedence resolution layer above env vars and the config
+ * file. `--dump-config-schema` prints the generated configuration
+ * reference (docs/config-reference.md) to stdout and exits; `--help`
+ * lists the flags. Unknown flags are rejected with a usage message.
  */
 inline void
 parseFigureArgs(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--tournament") {
-            ::setenv("MCD_TOURNAMENT", "1", /*overwrite=*/1);
-            continue;
+    auto usage = [&](std::FILE *to) {
+        std::fprintf(to,
+                     "usage: %s [--<option> <value>]... "
+                     "[--dump-config-schema]\n"
+                     "  options (see docs/config-reference.md):\n",
+                     argv[0]);
+        for (const config::OptionDef &o : config::options()) {
+            std::fprintf(to, "    %s <%s>%s\n", o.flag,
+                         config::typeName(o.type),
+                         *o.defaultValue
+                             ? (std::string(" (default ") +
+                                o.defaultValue + ")").c_str()
+                             : "");
         }
-        if (arg == "--invariants") {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr,
-                             "%s: --invariants needs a spec "
-                             "('default' or a rule list)\n",
-                             argv[0]);
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--dump-config-schema") {
+            config::writeSchemaMarkdown(std::cout);
+            std::exit(0);
+        }
+        if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            std::exit(0);
+        }
+        std::string value;
+        bool haveValue = false;
+        if (std::size_t eq = arg.find('=');
+            eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg.resize(eq);
+            haveValue = true;
+        }
+        const config::OptionDef *opt = config::findByFlag(arg);
+        if (!opt) {
+            std::fprintf(stderr, "%s: unknown argument '%s'\n",
+                         argv[0], argv[i]);
+            usage(stderr);
+            std::exit(2);
+        }
+        if (!haveValue) {
+            // Boolean flags never consume a value word (`--tournament
+            // adpcm` must not eat a benchmark name); everything else
+            // takes the next argument.
+            if (opt->type == config::Type::Bool) {
+                value = "1";
+            } else if (i + 1 < argc) {
+                value = argv[++i];
+            } else {
+                std::fprintf(stderr, "%s: %s needs a <%s> value\n",
+                             argv[0], opt->flag,
+                             config::typeName(opt->type));
                 std::exit(2);
             }
-            ::setenv("MCD_INVARIANTS", argv[++i], /*overwrite=*/1);
-            continue;
         }
-        std::fprintf(stderr,
-                     "usage: %s [--tournament] [--invariants <spec>]\n"
-                     "  unknown argument '%s'\n",
-                     argv[0], arg.c_str());
-        std::exit(2);
+        config::setFlagOverride(opt->name, value);
     }
 }
 

@@ -30,7 +30,7 @@ main(int argc, char **argv)
     std::printf(
         "\nPaper reference: baseline MCD < 4%% avg; dynamic-5%% ~10%%; "
         "global matched to dynamic-5%%.\n");
-    if (std::getenv("MCD_TOURNAMENT"))
+    if (config::RunSpec::resolve().boolean("tournament"))
         benchutil::printLeaderboard(rows);
     return benchutil::finish(rows);
 }

@@ -29,7 +29,7 @@ main(int argc, char **argv)
     std::printf(
         "\nPaper reference: dynamic-5%% ~27%% avg; global < 12%% avg; "
         "MCD baseline ~-1.5%%.\n");
-    if (std::getenv("MCD_TOURNAMENT"))
+    if (config::RunSpec::resolve().boolean("tournament"))
         benchutil::printLeaderboard(rows);
     return benchutil::finish(rows);
 }

@@ -25,7 +25,7 @@ main(int argc, char **argv)
         [](const BenchmarkResults &r, const RunResult &run) {
             return r.edpImprovement(run);
         });
-    if (std::getenv("MCD_TOURNAMENT"))
+    if (config::RunSpec::resolve().boolean("tournament"))
         benchutil::printLeaderboard(rows);
 
     // The headline-ordering check below averages over every row, so a

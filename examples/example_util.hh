@@ -1,8 +1,10 @@
 /**
  * @file
  * Shared plumbing for the example binaries: the --trace-out /
- * --stats-out telemetry output flags (with MCD_TRACE_OUT /
- * MCD_STATS_OUT environment fallback) and the writers behind them.
+ * --stats-out telemetry output flags (backed by the traceOut /
+ * statsOut options of the unified config layer, so MCD_TRACE_OUT /
+ * MCD_STATS_OUT and --config files keep working) and the writers
+ * behind them.
  */
 
 #ifndef MCD_EXAMPLES_EXAMPLE_UTIL_HH
@@ -12,10 +14,13 @@
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/log.hh"
+#include "config/registry.hh"
+#include "config/runspec.hh"
 #include "core/experiment.hh"
 
 namespace mcd {
@@ -44,10 +49,14 @@ guardedMain(const std::function<int()> &body)
 
 /**
  * Consume "--trace-out <path>" / "--stats-out <path>" /
- * "--invariants <spec>" from argv (compacting the positional
- * arguments so existing positional parsing is unaffected), falling
- * back to the MCD_TRACE_OUT / MCD_STATS_OUT / MCD_INVARIANTS
- * environment variables when the flags are absent.
+ * "--invariants <spec>" / "--config <file>" from argv (compacting the
+ * positional arguments so existing positional parsing is unaffected).
+ * The flags feed the unified config layer's flag store and the
+ * results are read back from the resolved RunSpec, so the
+ * MCD_TRACE_OUT / MCD_STATS_OUT / MCD_INVARIANTS environment
+ * variables and config-file keys keep working with flag > env > file
+ * precedence. "--dump-config-schema" prints the generated
+ * configuration reference to stdout and exits.
  */
 struct TelemetryArgs
 {
@@ -60,20 +69,18 @@ struct TelemetryArgs
     static TelemetryArgs
     parse(int &argc, char **argv)
     {
-        TelemetryArgs a;
-        if (const char *e = std::getenv("MCD_TRACE_OUT"))
-            a.traceOut = e;
-        if (const char *e = std::getenv("MCD_STATS_OUT"))
-            a.statsOut = e;
-        if (const char *e = std::getenv("MCD_INVARIANTS"))
-            a.invariants = e;
         int out = 1;
         for (int i = 1; i < argc; ++i) {
             std::string arg = argv[i];
-            std::string *dst = arg == "--trace-out" ? &a.traceOut
-                : arg == "--stats-out" ? &a.statsOut
-                : arg == "--invariants" ? &a.invariants : nullptr;
-            if (!dst) {
+            if (arg == "--dump-config-schema") {
+                config::writeSchemaMarkdown(std::cout);
+                std::exit(0);
+            }
+            const char *name = arg == "--trace-out" ? "traceOut"
+                : arg == "--stats-out" ? "statsOut"
+                : arg == "--invariants" ? "invariants"
+                : arg == "--config" ? "config" : nullptr;
+            if (!name) {
                 argv[out++] = argv[i];
                 continue;
             }
@@ -81,9 +88,14 @@ struct TelemetryArgs
                 std::fprintf(stderr, "%s requires a value\n", arg.c_str());
                 std::exit(1);
             }
-            *dst = argv[++i];
+            config::setFlagOverride(name, argv[++i]);
         }
         argc = out;
+        const config::RunSpec spec = config::RunSpec::resolve();
+        TelemetryArgs a;
+        a.traceOut = spec.str("traceOut");
+        a.statsOut = spec.str("statsOut");
+        a.invariants = spec.str("invariants");
         return a;
     }
 

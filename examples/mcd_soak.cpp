@@ -6,12 +6,14 @@
  *
  *   mcd_soak [--seed N] [--budget N] [--jobs N] [--out DIR]
  *            [--plant <leg>=<action>] [--no-shrink]
- *            [--shrink-runs N] [--quiet]
+ *            [--shrink-runs N] [--quiet] [--config FILE]
  *   mcd_soak --repro FILE
+ *   mcd_soak --convert-repro FILE     # legacy v1 repro -> v2, stdout
  *
- * Environment fallbacks (MCD_SOAK mode, for CI wrappers that cannot
- * pass flags): MCD_SOAK_SEED, MCD_SOAK_BUDGET, MCD_SOAK_JOBS,
- * MCD_SOAK_OUT, MCD_SOAK_PLANT.
+ * The seed/budget/jobs/out/plant knobs resolve through the unified
+ * config layer (soakSeed, soakBudget, soakJobs, soakOut, soakPlant;
+ * defaults < --config file < MCD_SOAK_* env vars < flags), so CI
+ * wrappers that cannot pass flags keep working.
  *
  * Exit codes: 0 = clean soak (or a --repro replay that reproduced its
  * recorded signature); 1 = findings were recorded (or the replay did
@@ -26,8 +28,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
 
+#include "fuzz/scenario.hh"
 #include "fuzz/soak.hh"
 
 #include "example_util.hh"
@@ -47,11 +52,25 @@ parseU64Arg(const char *flag, const char *value)
     return v;
 }
 
-const char *
-envOr(const char *var, const char *fallback)
+/** One-shot converter: any readable repro (v1 or v2) -> v2, stdout. */
+int
+convertRepro(const std::string &path)
 {
-    const char *v = std::getenv(var);
-    return v && *v ? v : fallback;
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open repro file %s\n",
+                     path.c_str());
+        return 2;
+    }
+    std::optional<mcd::fuzz::Repro> repro = mcd::fuzz::readRepro(in);
+    if (!repro) {
+        std::fprintf(stderr, "cannot parse repro file %s\n",
+                     path.c_str());
+        return 2;
+    }
+    mcd::fuzz::writeRepro(std::cout, repro->scenario,
+                          repro->signature);
+    return 0;
 }
 
 } // namespace
@@ -60,18 +79,12 @@ int
 main(int argc, char **argv)
 {
     return mcd::exutil::guardedMain([&]() -> int {
-        mcd::fuzz::SoakOptions opts;
-        opts.rootSeed = parseU64Arg("MCD_SOAK_SEED",
-                                    envOr("MCD_SOAK_SEED", "1"));
-        opts.budget = static_cast<int>(
-            parseU64Arg("MCD_SOAK_BUDGET",
-                        envOr("MCD_SOAK_BUDGET", "25")));
-        opts.jobs = static_cast<int>(
-            parseU64Arg("MCD_SOAK_JOBS", envOr("MCD_SOAK_JOBS", "1")));
-        opts.outDir = envOr("MCD_SOAK_OUT", "");
-        opts.planted = envOr("MCD_SOAK_PLANT", "");
-        opts.progress = true;
+        namespace config = mcd::config;
         std::string reproPath;
+        std::string convertPath;
+        bool shrink = true;
+        bool progress = true;
+        int shrinkRuns = -1;
 
         for (int i = 1; i < argc; ++i) {
             std::string arg = argv[i];
@@ -83,27 +96,35 @@ main(int argc, char **argv)
                 }
                 return argv[++i];
             };
+            // The soak knobs feed the unified flag store (highest
+            // layer), so MCD_SOAK_* env vars and --config files
+            // resolve underneath them.
             if (arg == "--seed") {
-                opts.rootSeed = parseU64Arg("--seed", value());
+                config::setFlagOverride("soakSeed", value());
             } else if (arg == "--budget") {
-                opts.budget = static_cast<int>(
-                    parseU64Arg("--budget", value()));
+                config::setFlagOverride("soakBudget", value());
             } else if (arg == "--jobs") {
-                opts.jobs = static_cast<int>(
-                    parseU64Arg("--jobs", value()));
+                config::setFlagOverride("soakJobs", value());
             } else if (arg == "--out") {
-                opts.outDir = value();
+                config::setFlagOverride("soakOut", value());
             } else if (arg == "--plant") {
-                opts.planted = value();
+                config::setFlagOverride("soakPlant", value());
+            } else if (arg == "--config") {
+                config::setFlagOverride("config", value());
+            } else if (arg == "--dump-config-schema") {
+                config::writeSchemaMarkdown(std::cout);
+                return 0;
             } else if (arg == "--no-shrink") {
-                opts.shrink = false;
+                shrink = false;
             } else if (arg == "--shrink-runs") {
-                opts.shrinkRuns = static_cast<int>(
+                shrinkRuns = static_cast<int>(
                     parseU64Arg("--shrink-runs", value()));
             } else if (arg == "--quiet") {
-                opts.progress = false;
+                progress = false;
             } else if (arg == "--repro") {
                 reproPath = value();
+            } else if (arg == "--convert-repro") {
+                convertPath = value();
             } else {
                 std::fprintf(stderr, "unknown argument '%s'\n",
                              arg.c_str());
@@ -111,6 +132,20 @@ main(int argc, char **argv)
             }
         }
 
+        const config::RunSpec spec = config::RunSpec::resolve();
+        mcd::fuzz::SoakOptions opts;
+        opts.rootSeed = spec.u64("soakSeed");
+        opts.budget = static_cast<int>(spec.integer("soakBudget"));
+        opts.jobs = static_cast<int>(spec.integer("soakJobs"));
+        opts.outDir = spec.str("soakOut");
+        opts.planted = spec.str("soakPlant");
+        opts.shrink = shrink;
+        opts.progress = progress;
+        if (shrinkRuns >= 0)
+            opts.shrinkRuns = shrinkRuns;
+
+        if (!convertPath.empty())
+            return convertRepro(convertPath);
         if (!reproPath.empty()) {
             mcd::fuzz::ReplayResult r =
                 mcd::fuzz::replayRepro(reproPath);

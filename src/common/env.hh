@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared string -> value parsers for configuration surfaces.
+ *
+ * These are *pure* parsers: they never touch the process environment.
+ * The only environment reads in the tree live in src/config/
+ * (enforced by a CI grep), so every consumer — env var, config file,
+ * CLI flag, fuzz spec — funnels through the same strict parsing
+ * rules.
+ *
+ * The boolean rule (DESIGN.md §15): values are checked, not presence.
+ * "", "0", "false", "no", "off" are false; "1", "true", "yes", "on"
+ * are true; anything else is fatal. MCD_X=0 therefore always means
+ * *disabled*, never "enabled because the variable exists".
+ */
+
+#ifndef MCD_COMMON_ENV_HH
+#define MCD_COMMON_ENV_HH
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/log.hh"
+
+namespace mcd {
+namespace envutil {
+
+/** Value-checked boolean (see file comment). @p what names the
+ *  setting in the fatal message. */
+inline bool
+parseBool(const std::string &what, std::string_view v)
+{
+    if (v.empty() || v == "0" || v == "false" || v == "no" ||
+        v == "off") {
+        return false;
+    }
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    fatal(what + ": boolean value must be one of 0/1/true/false/"
+          "yes/no/on/off (got '" + std::string(v) + "')");
+}
+
+/** Whole-string signed integer; fatal on anything else. */
+inline long long
+parseInt(const std::string &what, std::string_view v)
+{
+    long long out = 0;
+    auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+    if (ec != std::errc() || ptr != v.data() + v.size() || v.empty())
+        fatal(what + ": expected an integer (got '" + std::string(v) +
+              "')");
+    return out;
+}
+
+/** Whole-string unsigned 64-bit integer; fatal on anything else. */
+inline std::uint64_t
+parseU64(const std::string &what, std::string_view v)
+{
+    std::uint64_t out = 0;
+    auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+    if (ec != std::errc() || ptr != v.data() + v.size() || v.empty())
+        fatal(what + ": expected an unsigned integer (got '" +
+              std::string(v) + "')");
+    return out;
+}
+
+/** Whole-string finite double; fatal on anything else. */
+inline double
+parseDouble(const std::string &what, std::string_view v)
+{
+    std::string s(v);
+    try {
+        std::size_t used = 0;
+        double d = std::stod(s, &used);
+        if (used != s.size() || !std::isfinite(d))
+            throw std::invalid_argument(s);
+        return d;
+    } catch (const std::exception &) {
+        fatal(what + ": expected a finite number (got '" + s + "')");
+    }
+}
+
+} // namespace envutil
+} // namespace mcd
+
+#endif // MCD_COMMON_ENV_HH

@@ -89,15 +89,4 @@ ThreadPool::hardwareJobs()
     return n ? n : 1;
 }
 
-unsigned
-ThreadPool::jobsFromEnv(const char *var)
-{
-    if (const char *s = std::getenv(var)) {
-        int n = std::atoi(s);
-        if (n > 0)
-            return static_cast<unsigned>(n);
-    }
-    return hardwareJobs();
-}
-
 } // namespace mcd

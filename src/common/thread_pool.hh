@@ -142,14 +142,12 @@ class ThreadPool
         return busyNs.load(std::memory_order_relaxed);
     }
 
-    /** Hardware concurrency, never less than 1. */
-    static unsigned hardwareJobs();
-
     /**
-     * Job count from the environment: @p var (default MCD_JOBS) when
-     * set to a positive integer, otherwise hardwareJobs().
+     * Hardware concurrency, never less than 1. Callers wanting the
+     * MCD_JOBS / --jobs knob go through config::RunSpec::jobs(), which
+     * maps the option's 0 default here.
      */
-    static unsigned jobsFromEnv(const char *var = "MCD_JOBS");
+    static unsigned hardwareJobs();
 
   private:
     template <typename T>

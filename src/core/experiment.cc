@@ -17,6 +17,7 @@
 
 #include "clock/operating_points.hh"
 #include "common/log.hh"
+#include "config/runspec.hh"
 #include "control/registry.hh"
 #include "obs/host_prof.hh"
 #include "workloads/workloads.hh"
@@ -574,8 +575,7 @@ countInvariantViolations(const std::vector<BenchmarkResults> &rows)
 bool
 invariantsFatalFromEnv()
 {
-    const char *v = std::getenv("MCD_INVARIANTS_FATAL");
-    return v && *v && std::string(v) != "0";
+    return config::RunSpec::resolve().boolean("invariantsFatal");
 }
 
 void
@@ -584,15 +584,69 @@ writeHostProfileFromEnv()
     obs::HostProfiler &prof = obs::HostProfiler::instance();
     if (!prof.enabled())
         return;
-    const char *path = std::getenv("MCD_PROF_OUT");
-    if (!path || !*path)
+    std::string path = config::RunSpec::resolve().str("profOut");
+    if (path.empty())
         return;
     std::ofstream os(path);
     if (!os) {
-        std::fprintf(stderr, "  MCD_PROF_OUT: cannot write %s\n", path);
+        std::fprintf(stderr, "  MCD_PROF_OUT: cannot write %s\n",
+                     path.c_str());
         return;
     }
     prof.writeProfile(os);
+}
+
+ExperimentConfig
+experimentConfigFromSpec(const config::RunSpec &spec, DvfsKind model,
+                         const std::string &defaultCacheDir)
+{
+    ExperimentConfig ec;
+    ec.model = model;
+    if (std::string m = spec.str("model"); !m.empty()) {
+        std::optional<DvfsKind> k = dvfsKindFromName(m);
+        if (!k)
+            fatal("model: unknown DVFS model '" + m + "' (valid: " +
+                  dvfsKindNames() + ")");
+        ec.model = *k;
+    }
+    ec.scale = static_cast<int>(spec.integer("scale"));
+    ec.seed = spec.u64("seed");
+    ec.dvfsTimeScale = spec.real("dvfsTimeScale");
+    ec.dilationLow = spec.real("dilationLow");
+    ec.dilationHigh = spec.real("dilationHigh");
+    ec.legAttempts = static_cast<int>(spec.integer("legAttempts"));
+    ec.watchdogNoProgressEdges = spec.u64("watchdogEdges");
+    ec.watchdogMaxTicks = spec.u64("watchdogTicks");
+    // An option left at its default takes the caller's directory; an
+    // explicitly empty value (MCD_CACHE_DIR=) still disables caching.
+    ec.cacheDir = spec.isDefault("cacheDir") ? defaultCacheDir
+                                             : spec.str("cacheDir");
+    if (std::string smp = spec.str("sampling"); !smp.empty())
+        ec.sampling = SamplingParams::fromSpec(smp);
+    return ec;
+}
+
+std::vector<std::string>
+benchmarkNamesFromSpec(const config::RunSpec &spec)
+{
+    std::vector<std::string> names;
+    std::string filter = spec.str("benchmarks");
+    if (filter.empty()) {
+        for (const WorkloadInfo &w : workloads::all())
+            names.emplace_back(w.name);
+        return names;
+    }
+    for (const std::string &item : config::splitList(filter)) {
+        bool known = false;
+        for (const WorkloadInfo &w : workloads::all())
+            known = known || item == w.name;
+        if (!known)
+            fatal("benchmarks: unknown benchmark '" + item + "'");
+        names.push_back(item);
+    }
+    if (names.empty())
+        fatal("benchmarks: empty benchmark list");
+    return names;
 }
 
 std::vector<std::string>
@@ -709,6 +763,91 @@ ExperimentConfig::validate() const
     fatal(msg);
 }
 
+namespace {
+
+/**
+ * The (name, actual canonical value) rows of the effectiveConfig
+ * block: every affectsResults option from the registry, valued from
+ * the *actual* finished-run configuration — not the resolved spec —
+ * so feeding the block back via --config reproduces the run even when
+ * the calling program set values programmatically (provenance then
+ * reads "code"). Host and output options are deliberately absent:
+ * results are bit-identical across MCD_JOBS/cache/output settings,
+ * and the block must be too.
+ */
+std::vector<std::pair<std::string, std::string>>
+effectiveOptions(const ExperimentConfig &cfg,
+                 const std::vector<BenchmarkResults> &rows,
+                 const config::RunSpec &spec)
+{
+    std::string benches;
+    for (const BenchmarkResults &r : rows) {
+        if (!benches.empty())
+            benches += ",";
+        benches += r.name;
+    }
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const config::OptionDef &o : config::options()) {
+        if (!o.affectsResults)
+            continue;
+        std::string_view name = o.name;
+        std::string v;
+        if (name == "benchmarks")
+            v = benches;
+        else if (name == "controllers")
+            v = spec.str("controllers");
+        else if (name == "dilationHigh")
+            v = config::canonicalDouble(cfg.dilationHigh);
+        else if (name == "dilationLow")
+            v = config::canonicalDouble(cfg.dilationLow);
+        else if (name == "dvfsTimeScale")
+            v = config::canonicalDouble(cfg.dvfsTimeScale);
+        else if (name == "faultPlan")
+            v = cfg.faults ? cfg.faults->toSpec() : "";
+        else if (name == "invariants")
+            v = cfg.telemetry.invariants;
+        else if (name == "legAttempts")
+            v = std::to_string(cfg.legAttempts);
+        else if (name == "legs")
+            v = legsToSpec(cfg.legs);
+        else if (name == "model")
+            v = dvfsKindName(cfg.model);
+        else if (name == "sampling")
+            v = cfg.sampling ? cfg.sampling->spec() : "";
+        else if (name == "scale")
+            v = std::to_string(cfg.scale);
+        else if (name == "seed")
+            v = std::to_string(cfg.seed);
+        else if (name == "tournament")
+            v = spec.str("tournament");
+        else if (name == "watchdogEdges")
+            v = std::to_string(cfg.watchdogNoProgressEdges);
+        else if (name == "watchdogTicks")
+            v = std::to_string(cfg.watchdogMaxTicks);
+        else
+            panic("effectiveOptions: unhandled result-shaping option "
+                  + std::string(name));
+        out.emplace_back(std::string(name), std::move(v));
+    }
+    return out;
+}
+
+/** The effectiveConfig fragment, rendered for embedding at
+ *  @p indent. */
+std::string
+renderEffectiveConfig(const ExperimentConfig &cfg,
+                      const std::vector<BenchmarkResults> &rows,
+                      const config::RunSpec &spec,
+                      const std::string &indent)
+{
+    std::ostringstream os;
+    config::writeEffectiveConfigJson(os, indent, spec,
+                                     effectiveOptions(cfg, rows, spec));
+    return os.str();
+}
+
+} // namespace
+
 void
 writeResultsJson(std::ostream &os, const ExperimentConfig &cfg,
                  const std::vector<BenchmarkResults> &rows)
@@ -728,6 +867,10 @@ writeResultsJson(std::ostream &os, const ExperimentConfig &cfg,
     if (cfg.sampling)
         os << ",\n    \"sampling\": \"" << cfg.sampling->spec() << "\"";
     os << "\n  },\n"
+       << "  \"effectiveConfig\": "
+       << renderEffectiveConfig(cfg, rows, config::RunSpec::resolve(),
+                                "  ")
+       << ",\n"
        << "  \"benchmarks\": [";
     bool firstRow = true;
     for (const BenchmarkResults &r : rows) {
@@ -921,7 +1064,8 @@ void
 writeTelemetryStatsJson(std::ostream &os,
                         const std::vector<NamedRun> &runs,
                         const obs::StatsRegistry *matrix,
-                        const obs::StatsRegistry *host)
+                        const obs::StatsRegistry *host,
+                        const std::string *effectiveConfig)
 {
     obs::StatsRegistry merged;
     os << "{\n  \"runs\": {";
@@ -946,6 +1090,8 @@ writeTelemetryStatsJson(std::ostream &os,
         os << ",\n  \"host\": ";
         host->writeJson(os, "  ");
     }
+    if (effectiveConfig)
+        os << ",\n  \"effectiveConfig\": " << *effectiveConfig;
     os << "\n}\n";
 }
 
@@ -1530,120 +1676,117 @@ ExperimentRunner::runOnline(const std::string &name)
 
 namespace {
 
-/** Honor MCD_RESULTS_JSON: dump the finished matrix to that path. */
+/** Honor the resultsJson option: dump the finished matrix there. */
 void
-maybeWriteJson(const ExperimentConfig &cfg,
+maybeWriteJson(const config::RunSpec &spec, const ExperimentConfig &cfg,
                const std::vector<BenchmarkResults> &out)
 {
-    const char *path = std::getenv("MCD_RESULTS_JSON");
-    if (!path || !*path)
+    std::string path = spec.str("resultsJson");
+    if (path.empty())
         return;
     std::ofstream os(path);
     if (!os) {
         std::fprintf(stderr, "  MCD_RESULTS_JSON: cannot write %s\n",
-                     path);
+                     path.c_str());
         return;
     }
     writeResultsJson(os, cfg, out);
 }
 
-/** Honor MCD_LEADERBOARD_JSON: dump the ranked leaderboard. */
+/** Honor the leaderboardJson option: dump the ranked leaderboard. */
 void
-maybeWriteLeaderboard(const ExperimentConfig &cfg,
+maybeWriteLeaderboard(const config::RunSpec &spec,
+                      const ExperimentConfig &cfg,
                       const std::vector<BenchmarkResults> &out)
 {
-    const char *path = std::getenv("MCD_LEADERBOARD_JSON");
-    if (!path || !*path)
+    std::string path = spec.str("leaderboardJson");
+    if (path.empty())
         return;
     std::ofstream os(path);
     if (!os) {
         std::fprintf(stderr,
-                     "  MCD_LEADERBOARD_JSON: cannot write %s\n", path);
+                     "  MCD_LEADERBOARD_JSON: cannot write %s\n",
+                     path.c_str());
         return;
     }
     writeLeaderboardJson(os, cfg, out);
 }
 
-/** Honor MCD_STATS_OUT / MCD_TRACE_OUT: dump merged telemetry. */
+/** Honor the statsOut / traceOut options: dump merged telemetry. */
 void
-maybeWriteTelemetry(const std::vector<BenchmarkResults> &out,
+maybeWriteTelemetry(const config::RunSpec &spec,
+                    const ExperimentConfig &cfg,
+                    const std::vector<BenchmarkResults> &out,
                     const obs::StatsRegistry *matrix,
                     const obs::StatsRegistry *host)
 {
-    auto writeTo = [](const char *env, auto writer) {
-        const char *path = std::getenv(env);
-        if (!path || !*path)
+    auto writeTo = [&](const char *option, auto writer) {
+        std::string path = spec.str(option);
+        if (path.empty())
             return;
         std::ofstream os(path);
         if (!os) {
-            std::fprintf(stderr, "  %s: cannot write %s\n", env, path);
+            std::fprintf(stderr, "  %s: cannot write %s\n", option,
+                         path.c_str());
             return;
         }
         writer(os);
     };
     std::vector<NamedRun> named = namedRuns(out);
-    writeTo("MCD_STATS_OUT", [&](std::ostream &os) {
-        writeTelemetryStatsJson(os, named, matrix, host);
+    writeTo("statsOut", [&](std::ostream &os) {
+        std::string eff = renderEffectiveConfig(cfg, out, spec, "  ");
+        writeTelemetryStatsJson(os, named, matrix, host, &eff);
     });
-    writeTo("MCD_TRACE_OUT", [&](std::ostream &os) {
+    writeTo("traceOut", [&](std::ostream &os) {
         writeTelemetryTrace(os, named);
     });
 }
 
 /**
- * The effective matrix config: MCD_TRACE_OUT / MCD_STATS_OUT imply
- * full telemetry collection when the caller left it off,
- * MCD_FAULT_PLAN supplies a fault plan when the caller passed none,
- * and an empty leg vector resolves to the tournament set
- * (MCD_TOURNAMENT) or the paper defaults, optionally filtered down by
- * MCD_CONTROLLERS.
+ * The effective matrix config: the traceOut / statsOut options imply
+ * full telemetry collection when the caller left it off, the
+ * faultPlan option supplies a fault plan when the caller passed none,
+ * and an empty leg vector resolves to the legs option, the tournament
+ * set (tournament option), or the paper defaults — optionally
+ * filtered down by the controllers option. Spec options only ever
+ * fill dimensions the caller left at their defaults, so programmatic
+ * configurations (tests, the examples) stay authoritative.
  */
 ExperimentConfig
-effectiveConfig(const ExperimentConfig &cfg)
+effectiveConfig(const ExperimentConfig &cfg,
+                const config::RunSpec &spec)
 {
     ExperimentConfig e = cfg;
-    auto set = [](const char *env) {
-        const char *v = std::getenv(env);
-        return v && *v;
-    };
     if (!e.telemetry.enabled() &&
-        (set("MCD_TRACE_OUT") || set("MCD_STATS_OUT"))) {
+        (!spec.str("traceOut").empty() ||
+         !spec.str("statsOut").empty())) {
         e.telemetry = obs::TelemetryConfig::full();
     }
     // The invariant engine rides on top of whatever channels are
     // already on (it is itself a telemetry channel, so it also turns
     // enabled() on and thereby bypasses the cache).
-    if (e.telemetry.invariants.empty()) {
-        if (const char *v = std::getenv("MCD_INVARIANTS"); v && *v)
-            e.telemetry.invariants = v;
-    }
+    if (e.telemetry.invariants.empty())
+        e.telemetry.invariants = spec.str("invariants");
     if (!e.sampling) {
-        if (const char *v = std::getenv("MCD_SAMPLING"); v && *v)
+        if (std::string v = spec.str("sampling"); !v.empty())
             e.sampling = SamplingParams::fromSpec(v);
     }
-    if (!e.faults)
-        e.faults = fault::FaultPlan::fromEnv();
+    if (!e.faults) {
+        if (std::string v = spec.str("faultPlan"); !v.empty())
+            e.faults = std::make_shared<const fault::FaultPlan>(
+                fault::FaultPlan::parse(v));
+    }
 
     if (e.legs.empty()) {
-        const char *t = std::getenv("MCD_TOURNAMENT");
-        bool tournament = t && *t && std::string_view(t) != "0";
-        e.legs = tournament ? tournamentLegs(e) : defaultLegs(e);
+        if (std::string v = spec.str("legs"); !v.empty())
+            e.legs = legsFromSpec(v);
+        else if (spec.boolean("tournament"))
+            e.legs = tournamentLegs(e);
+        else
+            e.legs = defaultLegs(e);
     }
-    if (const char *v = std::getenv("MCD_CONTROLLERS"); v && *v) {
-        std::vector<std::string> want;
-        std::string item;
-        for (const char *p = v;; ++p) {
-            if (*p && *p != ',') {
-                item += *p;
-                continue;
-            }
-            if (!item.empty()) {
-                want.push_back(item);
-                item.clear();
-            }
-            if (!*p)
-                break;
-        }
+    if (std::string v = spec.str("controllers"); !v.empty()) {
+        std::vector<std::string> want = config::splitList(v);
         auto available = [&] {
             std::string known;
             for (const LegSpec &l : e.legs) {
@@ -1727,15 +1870,16 @@ finishMatrix(const ExperimentConfig &cfg,
              const std::vector<BenchmarkResults> &out,
              const ExperimentRunner &runner)
 {
+    const config::RunSpec spec = config::RunSpec::resolve();
     obs::StatsRegistry health;
     bool degraded = matrixHealth(health, out, runner.cacheQuarantines());
     obs::HostProfiler &prof = obs::HostProfiler::instance();
     obs::StatsRegistry hostStats;
     if (prof.enabled())
         prof.publish(hostStats);
-    maybeWriteJson(cfg, out);
-    maybeWriteLeaderboard(cfg, out);
-    maybeWriteTelemetry(out, degraded ? &health : nullptr,
+    maybeWriteJson(spec, cfg, out);
+    maybeWriteLeaderboard(spec, cfg, out);
+    maybeWriteTelemetry(spec, cfg, out, degraded ? &health : nullptr,
                         prof.enabled() ? &hostStats : nullptr);
     writeHostProfileFromEnv();
     if (std::uint64_t v = countInvariantViolations(out)) {
@@ -1768,18 +1912,16 @@ runMatrix(const ExperimentConfig &cfg,
     workloads::all();
 
     // Arm (or clear) the host profiler for this matrix; every phase
-    // scope below is a no-op when MCD_PROF_OUT is unset.
+    // scope below is a no-op when the profiler output is unset.
+    const config::RunSpec spec = config::RunSpec::resolve();
     obs::HostProfiler &hostProf = obs::HostProfiler::instance();
-    {
-        const char *p = std::getenv("MCD_PROF_OUT");
-        hostProf.reset(p && *p);
-    }
+    hostProf.reset(!spec.str("profOut").empty());
     auto matrixStart = std::chrono::steady_clock::now();
 
     ExperimentConfig ecfg;
     {
         obs::HostProfiler::Scope prof = hostProf.phase("validate");
-        ecfg = effectiveConfig(cfg);
+        ecfg = effectiveConfig(cfg, spec);
         ecfg.validate();
     }
     // Telemetry-collecting legs must actually simulate (cached rows

@@ -44,6 +44,7 @@
 
 #include "analysis/analyzer.hh"
 #include "common/thread_pool.hh"
+#include "config/runspec.hh"
 #include "control/online_queue.hh"
 #include "core/processor.hh"
 #include "core/sim_config.hh"
@@ -292,16 +293,44 @@ int matrixExitCode(const std::vector<BenchmarkResults> &rows);
 std::uint64_t
 countInvariantViolations(const std::vector<BenchmarkResults> &rows);
 
-/** True when MCD_INVARIANTS_FATAL is set to a non-empty, non-0 value. */
+/** True when the invariantsFatal option (MCD_INVARIANTS_FATAL /
+ *  --invariants-fatal) resolves true. */
 bool invariantsFatalFromEnv();
 
 /**
- * Honor MCD_PROF_OUT: write (or rewrite) the host profile file when
- * the profiler is armed. runMatrix calls this once the matrix ends;
- * figure drivers call it again after rendering so the final file
- * includes the render phases too. No-op otherwise.
+ * Honor the profOut option (MCD_PROF_OUT / --prof-out): write (or
+ * rewrite) the host profile file when the profiler is armed. runMatrix
+ * calls this once the matrix ends; figure drivers call it again after
+ * rendering so the final file includes the render phases too. No-op
+ * otherwise.
  */
 void writeHostProfileFromEnv();
+
+/**
+ * ExperimentConfig populated from the result-shaping scalar options of
+ * a resolved RunSpec: scale, seed, dvfsTimeScale, dilationLow/High,
+ * legAttempts, watchdog budgets, sampling, cacheDir and model. @p
+ * model seeds the DVFS model; a non-empty "model" option overrides it
+ * (unknown names are fatal). @p defaultCacheDir applies only while the
+ * cacheDir option sits at its default, so an explicitly empty value
+ * (MCD_CACHE_DIR=) still disables caching. Legs, faults, telemetry
+ * and invariants are left unset — runMatrix()'s effective-config
+ * resolution fills those from the same spec. fatal() (never exit) on
+ * malformed domain grammar, so drivers choose their own exit code.
+ */
+ExperimentConfig
+experimentConfigFromSpec(const config::RunSpec &spec,
+                         DvfsKind model = DvfsKind::XScale,
+                         const std::string &defaultCacheDir = {});
+
+/**
+ * Benchmark list for a matrix run: every registered workload, or the
+ * comma-separated subset named by the benchmarks option
+ * (MCD_BENCHMARKS / --benchmarks). Unknown names are fatal() so a typo
+ * cannot silently shrink a figure.
+ */
+std::vector<std::string>
+benchmarkNamesFromSpec(const config::RunSpec &spec);
 
 /**
  * Cache-file serialization for BenchmarkResults (exposed so the cache
@@ -385,12 +414,17 @@ struct NamedRun
  * entries (matrix health counters: failed/retried legs, quarantined
  * cache files) are emitted as an additional "matrix" registry; when
  * @p host is non-null (the host profiler's registry) it is emitted as
- * an additional "host" registry.
+ * an additional "host" registry. When @p effectiveConfig is non-null
+ * (a pre-rendered provenance-annotated RunSpec fragment) it is
+ * emitted as a trailing "effectiveConfig" key — runMatrix() passes
+ * it, so every matrix stats document records the configuration that
+ * produced it.
  */
-void writeTelemetryStatsJson(std::ostream &os,
-                             const std::vector<NamedRun> &runs,
-                             const obs::StatsRegistry *matrix = nullptr,
-                             const obs::StatsRegistry *host = nullptr);
+void writeTelemetryStatsJson(
+    std::ostream &os, const std::vector<NamedRun> &runs,
+    const obs::StatsRegistry *matrix = nullptr,
+    const obs::StatsRegistry *host = nullptr,
+    const std::string *effectiveConfig = nullptr);
 
 /**
  * Emit one merged Chrome trace (chrome://tracing / Perfetto JSON)
@@ -537,11 +571,15 @@ class ExperimentRunner
  * are returned in the order of @p names regardless of completion
  * order, and are bit-identical for every jobs value.
  *
- * Environment, beyond the telemetry/sampling/fault knobs documented
- * on ExperimentConfig: MCD_TOURNAMENT=1 switches an empty cfg.legs to
- * tournamentLegs(); MCD_CONTROLLERS=a,b filters the leg set by name
- * (unknown names are fatal, enumerating the available legs); and
- * MCD_LEADERBOARD_JSON names a path for the ranked leaderboard.
+ * Configuration (resolved through config::RunSpec, so every knob is
+ * reachable as env var, config-file key, or CLI flag), beyond the
+ * telemetry/sampling/fault options documented on ExperimentConfig:
+ * tournament switches an empty cfg.legs to tournamentLegs();
+ * controllers filters the leg set by name (unknown names are fatal,
+ * enumerating the available legs); leaderboardJson names a path for
+ * the ranked leaderboard. Every results/stats document carries an
+ * effectiveConfig block recording the resolved result-shaping options
+ * with per-option provenance.
  *
  * @param progress print a per-benchmark progress line to stderr
  */

@@ -153,15 +153,6 @@ FaultPlan::toSpec() const
     return out;
 }
 
-std::shared_ptr<const FaultPlan>
-FaultPlan::fromEnv(const char *var)
-{
-    const char *spec = std::getenv(var);
-    if (!spec || !*spec)
-        return nullptr;
-    return std::make_shared<const FaultPlan>(parse(spec));
-}
-
 const FaultSpec *
 FaultPlan::findLeg(const std::string &site, FaultKind kind) const
 {

@@ -90,15 +90,11 @@ struct FaultSpec
 class FaultPlan
 {
   public:
-    /** Parse a spec string; fatal() (FatalError) on malformed input. */
+    /** Parse a spec string; fatal() (FatalError) on malformed input.
+     *  The faultPlan option (MCD_FAULT_PLAN / --fault-plan) reaches
+     *  runs through runMatrix()'s effective-config resolution, which
+     *  parses the option value with this. */
     static FaultPlan parse(const std::string &spec);
-
-    /**
-     * Plan named by the environment variable (default MCD_FAULT_PLAN);
-     * nullptr when the variable is unset or empty.
-     */
-    static std::shared_ptr<const FaultPlan>
-    fromEnv(const char *var = "MCD_FAULT_PLAN");
 
     bool empty() const { return armed.empty(); }
     const std::vector<FaultSpec> &specs() const { return armed; }

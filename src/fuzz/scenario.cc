@@ -1,12 +1,17 @@
 #include "scenario.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "common/log.hh"
+#include "config/jsonlite.hh"
+#include "config/runspec.hh"
 
 namespace mcd {
 namespace fuzz {
@@ -121,25 +126,91 @@ Scenario::toConfig() const
     return cfg;
 }
 
-const char *const reproVersion = "mcd-repro-v1";
+const char *const reproVersion = "mcd-repro-v2";
+const char *const reproVersionLegacy = "mcd-repro-v1";
+
+namespace {
+
+/**
+ * The configSpec k=v keys and their RunSpec option names, in the
+ * canonical emission order of both serializations (configSpec order
+ * for v1-era specs; writeRepro sorts by option name itself).
+ */
+constexpr std::pair<const char *, const char *> configSpecKeys[] = {
+    {"model", "model"},           {"timescale", "dvfsTimeScale"},
+    {"dillo", "dilationLow"},     {"dilhi", "dilationHigh"},
+    {"seed", "seed"},             {"attempts", "legAttempts"},
+    {"wdedges", "watchdogEdges"}, {"wdticks", "watchdogTicks"},
+    {"sampling", "sampling"},
+};
+
+const char *
+optionNameForSpecKey(const std::string &key)
+{
+    for (const auto &[specKey, option] : configSpecKeys) {
+        if (key == specKey)
+            return option;
+    }
+    return nullptr;
+}
+
+const char *
+specKeyForOptionName(const std::string &option)
+{
+    for (const auto &[specKey, opt] : configSpecKeys) {
+        if (option == opt)
+            return specKey;
+    }
+    return nullptr;
+}
+
+} // namespace
 
 void
 writeRepro(std::ostream &os, const Scenario &s,
            const std::string &signature)
 {
-    // Flat JSON with string/number values only. The spec grammars
-    // exclude '"' and '\', so values never need escaping — which is
-    // what lets readRepro() stay a two-screen scanner instead of a
-    // JSON library dependency.
+    // The scenario's experiment dimensions are serialized as a
+    // mcd-runspec-v1 options object (the same surface --config files
+    // use), with every value a JSON *string* so the exact spec text —
+    // "0.050000" included — round-trips byte-identically. Only the
+    // keys present in configSpec appear; absent keys mean the
+    // ExperimentConfig defaults, exactly as in the spec grammar.
+    std::vector<std::pair<std::string, std::string>> opts;
+    std::string item;
+    std::istringstream ss(s.configSpec);
+    while (std::getline(ss, item, ';')) {
+        if (item.empty())
+            continue;
+        std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            fatal("Scenario config: item '" + item + "' missing '='");
+        const char *name = optionNameForSpecKey(item.substr(0, eq));
+        if (!name)
+            fatal("Scenario config: unknown key '" +
+                  item.substr(0, eq) + "'");
+        opts.emplace_back(name, item.substr(eq + 1));
+    }
+    opts.emplace_back("legs", s.legsSpec);
+    opts.emplace_back("faultPlan", s.faultSpec);
+    std::sort(opts.begin(), opts.end());
+
     os << "{\n"
        << "  \"version\": \"" << reproVersion << "\",\n"
        << "  \"signature\": \"" << signature << "\",\n"
        << "  \"workload\": \"" << s.workload.spec() << "\",\n"
-       << "  \"config\": \"" << s.configSpec << "\",\n"
-       << "  \"legs\": \"" << s.legsSpec << "\",\n"
-       << "  \"faults\": \"" << s.faultSpec << "\",\n"
        << "  \"planted\": \"" << s.plantedSpec << "\",\n"
-       << "  \"jobs\": " << s.jobs << "\n"
+       << "  \"jobs\": " << s.jobs << ",\n"
+       << "  \"runspec\": {\n"
+       << "    \"version\": \"" << config::runSpecVersion << "\",\n"
+       << "    \"options\": {\n";
+    for (std::size_t i = 0; i < opts.size(); ++i) {
+        os << "      \"" << opts[i].first << "\": \""
+           << config::jsonlite::escape(opts[i].second) << "\""
+           << (i + 1 < opts.size() ? "," : "") << "\n";
+    }
+    os << "    }\n"
+       << "  }\n"
        << "}\n";
 }
 
@@ -178,18 +249,13 @@ jsonField(const std::string &text, const std::string &key)
     return text.substr(pos, end - pos);
 }
 
-} // namespace
-
+/**
+ * The legacy flat-object reader, kept so the pre-v2 regression corpus
+ * (and any repro stashed in a bug report) replays forever.
+ */
 std::optional<Repro>
-readRepro(std::istream &is)
+readReproV1(const std::string &text)
 {
-    std::ostringstream buf;
-    buf << is.rdbuf();
-    std::string text = buf.str();
-
-    auto version = jsonField(text, "version");
-    if (!version || *version != reproVersion)
-        return std::nullopt;
     auto signature = jsonField(text, "signature");
     auto workload = jsonField(text, "workload");
     auto config = jsonField(text, "config");
@@ -213,6 +279,86 @@ readRepro(std::istream &is)
     if (r.scenario.jobs < 1)
         r.scenario.jobs = 1;
     return r;
+}
+
+std::optional<Repro>
+readReproV2(const std::string &text)
+{
+    config::jsonlite::Value doc;
+    std::string err;
+    if (!config::jsonlite::parse(text, doc, err) ||
+        doc.kind != config::jsonlite::Value::Kind::Object)
+        return std::nullopt;
+    auto field = [&](const char *key)
+        -> const config::jsonlite::Value * {
+        return doc.find(key);
+    };
+    const auto *signature = field("signature");
+    const auto *workload = field("workload");
+    const auto *planted = field("planted");
+    const auto *jobs = field("jobs");
+    const auto *runspec = field("runspec");
+    if (!signature || !workload || !planted || !jobs || !runspec ||
+        runspec->kind != config::jsonlite::Value::Kind::Object)
+        return std::nullopt;
+    const auto *rsVersion = runspec->find("version");
+    const auto *options = runspec->find("options");
+    if (!rsVersion || rsVersion->text != config::runSpecVersion ||
+        !options ||
+        options->kind != config::jsonlite::Value::Kind::Object)
+        return std::nullopt;
+
+    Repro r;
+    r.signature = signature->text;
+    r.scenario.workload = GenParams::fromSpec(workload->text);
+    r.scenario.plantedSpec = planted->text;
+    r.scenario.jobs = static_cast<int>(
+        std::strtol(jobs->text.c_str(), nullptr, 10));
+    if (r.scenario.jobs < 1)
+        r.scenario.jobs = 1;
+
+    // Rebuild the spec strings. configSpec keys come back in the
+    // canonical key-table order regardless of the file's key order,
+    // so a rewritten repro is byte-stable.
+    for (const auto &[name, value] : options->members) {
+        if (name == "legs" || name == "faultPlan")
+            continue;
+        if (!specKeyForOptionName(name))
+            return std::nullopt;    // not an experiment dimension
+    }
+    std::string configSpec;
+    for (const auto &[specKey, option] : configSpecKeys) {
+        if (const auto *v = options->find(option)) {
+            if (!configSpec.empty())
+                configSpec += ";";
+            configSpec += std::string(specKey) + "=" + v->text;
+        }
+    }
+    r.scenario.configSpec = configSpec;
+    if (const auto *v = options->find("legs"))
+        r.scenario.legsSpec = v->text;
+    if (const auto *v = options->find("faultPlan"))
+        r.scenario.faultSpec = v->text;
+    return r;
+}
+
+} // namespace
+
+std::optional<Repro>
+readRepro(std::istream &is)
+{
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    std::string text = buf.str();
+
+    auto version = jsonField(text, "version");
+    if (!version)
+        return std::nullopt;
+    if (*version == reproVersion)
+        return readReproV2(text);
+    if (*version == reproVersionLegacy)
+        return readReproV1(text);
+    return std::nullopt;
 }
 
 } // namespace fuzz

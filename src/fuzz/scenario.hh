@@ -81,13 +81,18 @@ struct Scenario
     std::string expandedFaults() const;
 };
 
-/** Repro file format version header. */
+/** Repro file format version header ("mcd-repro-v2"). */
 extern const char *const reproVersion;
 
+/** The legacy flat-object format ("mcd-repro-v1"), still readable. */
+extern const char *const reproVersionLegacy;
+
 /**
- * Write a standalone JSON repro: the scenario plus the failure
- * signature its replay must reproduce. Flat object, string values
- * from the spec grammars (no escapes needed by construction).
+ * Write a standalone JSON repro: signature, workload, planted plan
+ * and jobs count, plus the experiment dimensions as an embedded
+ * mcd-runspec-v1 options object (the same option names --config files
+ * use; values stay JSON strings so the spec text round-trips
+ * byte-identically).
  */
 void writeRepro(std::ostream &os, const Scenario &s,
                 const std::string &signature);
@@ -100,7 +105,8 @@ struct Repro
 };
 
 /**
- * Parse a repro written by writeRepro(). Returns nullopt on a version
+ * Parse a repro written by writeRepro() — either the current v2
+ * format or the legacy v1 flat object. Returns nullopt on a version
  * mismatch or malformed content (never throws for file-shape
  * problems; spec-grammar errors inside a well-formed file still
  * fatal() like every other parser).

@@ -9,6 +9,8 @@
 
 #include "common/log.hh"
 #include "common/thread_pool.hh"
+#include "config/jsonlite.hh"
+#include "config/runspec.hh"
 #include "fuzz/config_fuzzer.hh"
 #include "fuzz/shrink.hh"
 #include "obs/invariants.hh"
@@ -274,6 +276,28 @@ journalPath(const SoakOptions &opts)
     return opts.outDir + "/journal.txt";
 }
 
+/**
+ * The soak's effective configuration as a one-line mcd-runspec-v1
+ * fragment, written as a '#' comment right after the header when a
+ * journal is created. Purely informational: the reader skips comment
+ * lines, and the header alone (seed/jobs/planted, never the budget)
+ * decides resume compatibility.
+ */
+std::string
+journalRunspec(const SoakOptions &opts)
+{
+    using config::jsonlite::escape;
+    std::ostringstream os;
+    os << "{\"version\": \"" << config::runSpecVersion
+       << "\", \"options\": {"
+       << "\"soakBudget\": \"" << opts.budget << "\", "
+       << "\"soakJobs\": \"" << opts.jobs << "\", "
+       << "\"soakOut\": \"" << escape(opts.outDir) << "\", "
+       << "\"soakPlant\": \"" << escape(opts.planted) << "\", "
+       << "\"soakSeed\": \"" << opts.rootSeed << "\"}}";
+    return os.str();
+}
+
 } // namespace
 
 SoakReport
@@ -296,6 +320,8 @@ runSoak(const SoakOptions &opts)
             header == journalHeader(opts)) {
             std::string line;
             while (std::getline(in, line)) {
+                if (!line.empty() && line[0] == '#')
+                    continue;   // comment lines (e.g. "# runspec ...")
                 std::istringstream ls(line);
                 std::uint64_t idx = 0;
                 std::string cls, sig;
@@ -304,7 +330,8 @@ runSoak(const SoakOptions &opts)
             }
         } else {
             std::ofstream out(journalPath(opts), std::ios::trunc);
-            out << journalHeader(opts) << "\n";
+            out << journalHeader(opts) << "\n"
+                << "# runspec " << journalRunspec(opts) << "\n";
         }
     }
 

@@ -19,6 +19,7 @@
 #include "analysis/schedule.hh"
 #include "common/log.hh"
 #include "common/random.hh"
+#include "config/runspec.hh"
 #include "control/controller.hh"
 #include "core/experiment.hh"
 #include "fault/fault_plan.hh"
@@ -77,18 +78,19 @@ TEST(FaultPlan, MalformedSpecsAreFatal)
     }
 }
 
-TEST(FaultPlan, FromEnv)
+TEST(FaultPlan, FromConfigLayer)
 {
-    const char *var = "MCD_FAULT_PLAN_TEST";
-    ::unsetenv(var);
-    EXPECT_EQ(FaultPlan::fromEnv(var), nullptr);
-    ::setenv(var, "", 1);
-    EXPECT_EQ(FaultPlan::fromEnv(var), nullptr);
-    ::setenv(var, "leg:adpcm/dyn1=throw", 1);
-    auto plan = FaultPlan::fromEnv(var);
-    ASSERT_NE(plan, nullptr);
-    EXPECT_EQ(plan->specs().size(), 1u);
-    ::unsetenv(var);
+    // MCD_FAULT_PLAN resolves through the unified config layer; an
+    // unset or empty option means "no plan", anything else reaches
+    // FaultPlan::parse via runMatrix's effective-config resolution.
+    ::unsetenv("MCD_FAULT_PLAN");
+    EXPECT_TRUE(config::RunSpec::resolve().str("faultPlan").empty());
+    ::setenv("MCD_FAULT_PLAN", "", 1);
+    EXPECT_TRUE(config::RunSpec::resolve().str("faultPlan").empty());
+    ::setenv("MCD_FAULT_PLAN", "leg:adpcm/dyn1=throw", 1);
+    std::string spec = config::RunSpec::resolve().str("faultPlan");
+    EXPECT_EQ(FaultPlan::parse(spec).specs().size(), 1u);
+    ::unsetenv("MCD_FAULT_PLAN");
 }
 
 TEST(FaultPlan, InjectionIsAPureFunctionOfSiteAndAttempt)

@@ -141,9 +141,12 @@ TEST(Sampling, FullDetailMatchesGoldenFixture)
     fs::path results = dir / "results.json";
 
     // The fixture is produced with full telemetry (the CI golden job
-    // sets MCD_STATS_OUT / MCD_TRACE_OUT); mirror that and make sure
-    // no stray sampling knob leaks in.
+    // sets MCD_STATS_OUT / MCD_TRACE_OUT and MCD_BENCHMARKS); mirror
+    // that — including the benchmarks option's "env" provenance in the
+    // emitted effectiveConfig block — and make sure no stray sampling
+    // knob leaks in.
     ::unsetenv("MCD_SAMPLING");
+    ::setenv("MCD_BENCHMARKS", "adpcm,mst", 1);
     ::setenv("MCD_RESULTS_JSON", (dir / "results.json").c_str(), 1);
     ::setenv("MCD_STATS_OUT", (dir / "stats.json").c_str(), 1);
     ::setenv("MCD_TRACE_OUT", (dir / "trace.json").c_str(), 1);
@@ -151,6 +154,7 @@ TEST(Sampling, FullDetailMatchesGoldenFixture)
     ExperimentConfig ec;    // empty cacheDir: caching disabled
     runMatrix(ec, {"adpcm", "mst"}, 1);
 
+    ::unsetenv("MCD_BENCHMARKS");
     ::unsetenv("MCD_RESULTS_JSON");
     ::unsetenv("MCD_STATS_OUT");
     ::unsetenv("MCD_TRACE_OUT");

@@ -14,7 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/log.hh"
 #include "common/thread_pool.hh"
+#include "config/runspec.hh"
 
 namespace mcd {
 namespace {
@@ -196,19 +198,24 @@ TEST(ThreadPool, RunPendingTaskHelpsExplicitly)
     EXPECT_FALSE(pool.runPendingTask());    // nothing queued
 }
 
-TEST(ThreadPool, JobsFromEnv)
+TEST(ThreadPool, JobsFromConfigLayer)
 {
-    ::setenv("MCD_TEST_JOBS", "3", 1);
-    EXPECT_EQ(ThreadPool::jobsFromEnv("MCD_TEST_JOBS"), 3u);
-    ::setenv("MCD_TEST_JOBS", "not-a-number", 1);
-    EXPECT_EQ(ThreadPool::jobsFromEnv("MCD_TEST_JOBS"),
-              ThreadPool::hardwareJobs());
-    ::setenv("MCD_TEST_JOBS", "-2", 1);
-    EXPECT_EQ(ThreadPool::jobsFromEnv("MCD_TEST_JOBS"),
-              ThreadPool::hardwareJobs());
-    ::unsetenv("MCD_TEST_JOBS");
-    EXPECT_EQ(ThreadPool::jobsFromEnv("MCD_TEST_JOBS"),
-              ThreadPool::hardwareJobs());
+    // The MCD_JOBS knob now resolves through config::RunSpec::jobs():
+    // a positive value is taken as-is, the 0 default maps to hardware
+    // concurrency, and junk is a hard configuration error instead of
+    // the old silent fallback.
+    ::setenv("MCD_JOBS", "3", 1);
+    EXPECT_EQ(config::RunSpec::resolve().jobs(), 3);
+    ::setenv("MCD_JOBS", "0", 1);
+    EXPECT_EQ(config::RunSpec::resolve().jobs(),
+              static_cast<int>(ThreadPool::hardwareJobs()));
+    ::setenv("MCD_JOBS", "not-a-number", 1);
+    EXPECT_THROW(config::RunSpec::resolve(), FatalError);
+    ::setenv("MCD_JOBS", "-2", 1);
+    EXPECT_THROW(config::RunSpec::resolve(), FatalError);
+    ::unsetenv("MCD_JOBS");
+    EXPECT_EQ(config::RunSpec::resolve().jobs(),
+              static_cast<int>(ThreadPool::hardwareJobs()));
     EXPECT_GE(ThreadPool::hardwareJobs(), 1u);
 }
 
